@@ -1,0 +1,57 @@
+// Ablation C — the consistency study (DESIGN.md §3, EXPERIMENTS.md):
+// how the three AST conflict strategies trade wirelength, snaking and
+// residual violations, plus the bind-deferral knob demonstrating why
+// postponing offset commitments degenerates toward separate-tree overlap
+// (the paper's Fig. 2 failure mode).
+
+#include "common.hpp"
+
+using namespace astclk;
+
+int main() {
+    std::cout << "Ablation — AST consistency modes (intermingled groups)\n\n";
+    io::table t({"Circuit", "k", "Mode", "Wirelen", "SnakeWire", "Rejected",
+                 "Forced", "ResidViol(ps)", "IntraSkew(ps)"});
+    for (const char* name : {"r1", "r2", "r3"}) {
+        for (int k : {4, 10}) {
+            auto inst = gen::generate(gen::paper_spec(name));
+            gen::apply_intermingled_groups(inst, k, 42);
+            struct variant {
+                const char* label;
+                core::ast_mode mode;
+                double bias;
+            };
+            const variant variants[] = {
+                {"exact ledger", core::ast_mode::exact_ledger, 0.0},
+                {"soft ledger", core::ast_mode::soft_ledger, 0.0},
+                {"windowed (paper)", core::ast_mode::windowed, 0.0},
+                {"exact + defer-binds", core::ast_mode::exact_ledger, 2e4},
+            };
+            for (const auto& v : variants) {
+                core::router_options opt;
+                opt.bind_deferral_bias = v.bias;
+                const auto r = core::route_ast_dme(
+                    inst, core::skew_spec::zero(), opt, v.mode);
+                const auto ev = eval::evaluate(r.tree, inst, opt.model);
+                t.add_row(
+                    {name, std::to_string(k), v.label,
+                     io::table::integer(r.wirelength),
+                     io::table::integer(r.stats.snake_wire),
+                     std::to_string(r.stats.rejected_pairs),
+                     std::to_string(r.stats.forced_merges),
+                     io::table::fixed(rc::to_ps(r.stats.worst_violation), 3),
+                     io::table::fixed(rc::to_ps(ev.max_intra_group_skew),
+                                      4)});
+            }
+            t.add_rule();
+        }
+    }
+    t.print(std::cout);
+    std::cout
+        << "\n(Exact ledger: guaranteed zero intra-group skew, stable wire.\n"
+           " Windowed: the paper's literal merge cases — per-merge freedom,\n"
+           " but frozen-offset conflicts can force residual violations and\n"
+           " unpredictable snaking.  Deferring offset binds recreates the\n"
+           " separate-tree overlap waste of Fig. 2.)\n";
+    return 0;
+}

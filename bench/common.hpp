@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file common.hpp
+/// Shared plumbing for the bench binaries that regenerate the paper's
+/// tables and figures: benchmark construction, the row format of Tables
+/// I/II, and small formatting helpers.
+
+#include "core/router.hpp"
+#include "eval/elmore_eval.hpp"
+#include "eval/report.hpp"
+#include "gen/grouping.hpp"
+#include "gen/instance_gen.hpp"
+#include "io/table.hpp"
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace astclk::bench {
+
+/// The group counts evaluated in Tables I and II.
+inline const std::vector<int> kpaper_group_counts{4, 6, 8, 10};
+
+/// The EXT-BST baseline bound used throughout the paper's experiments.
+inline constexpr double kext_bst_bound = 10e-12;  // 10 ps
+
+struct row_data {
+    std::string circuit;
+    int groups = 1;
+    std::string algorithm;
+    double wirelen = 0.0;
+    double reduction = 0.0;  ///< vs the EXT-BST row of the same circuit
+    double max_skew_ps = 0.0;
+    double intra_skew_ps = 0.0;
+    double cpu_s = 0.0;
+};
+
+inline io::table paper_table() {
+    return io::table({"Circuit", "#groups", "Algorithm", "Wirelen",
+                      "Reduction", "MaxSkew(ps)", "IntraSkew(ps)", "CPU(s)"});
+}
+
+inline void add_row(io::table& t, const row_data& r, bool with_reduction) {
+    t.add_row({r.circuit, std::to_string(r.groups), r.algorithm,
+               io::table::integer(r.wirelen),
+               with_reduction ? io::table::percent(r.reduction) : "",
+               io::table::fixed(r.max_skew_ps, 1),
+               io::table::fixed(r.intra_skew_ps, 4),
+               io::table::fixed(r.cpu_s, 2)});
+}
+
+inline row_data measure(const std::string& circuit, int groups,
+                        const std::string& algorithm,
+                        const core::route_result& route,
+                        const topo::instance& inst,
+                        const rc::delay_model& model, double baseline_wl) {
+    const auto ev = eval::evaluate(route.tree, inst, model);
+    row_data r;
+    r.circuit = circuit;
+    r.groups = groups;
+    r.algorithm = algorithm;
+    r.wirelen = route.wirelength;
+    r.reduction = baseline_wl > 0.0
+                      ? (baseline_wl - route.wirelength) / baseline_wl
+                      : 0.0;
+    r.max_skew_ps = rc::to_ps(ev.global_skew);
+    r.intra_skew_ps = rc::to_ps(ev.max_intra_group_skew);
+    r.cpu_s = route.cpu_seconds;
+    return r;
+}
+
+}  // namespace astclk::bench

@@ -1,0 +1,82 @@
+// Regenerates Figure 1's comparison: on the same instance, zero-skew DME
+// routing uses more wire than bounded-skew BST routing (17 vs 16 in the
+// paper's didactic drawing, path-length delay model).
+//
+// We sweep the didactic 5-sink constellation and a family of random
+// instances under both the path-length model (as drawn in the figure) and
+// Elmore (the paper's actual model), printing wirelength and skew.
+
+#include "common.hpp"
+
+using namespace astclk;
+
+namespace {
+
+topo::instance didactic() {
+    topo::instance inst;
+    inst.name = "fig1";
+    inst.num_groups = 1;
+    inst.die_width = inst.die_height = 10.0;
+    inst.source = {4.0, 5.0};
+    inst.sinks = {{{1.0, 1.0}, 1.0, 0},
+                  {{2.0, 6.0}, 1.0, 0},
+                  {{6.0, 2.0}, 1.0, 0},
+                  {{7.0, 7.0}, 1.0, 0},
+                  {{5.0, 9.0}, 1.0, 0}};
+    return inst;
+}
+
+}  // namespace
+
+int main() {
+    std::cout << "Figure 1 — zero-skew (DME) vs bounded-skew (BST) routing\n\n";
+
+    {
+        std::cout << "Didactic 5-sink instance, path-length delay model "
+                     "(the figure's setting):\n";
+        core::router_options opt;
+        opt.model = rc::delay_model::path_length();
+        const auto inst = didactic();
+        io::table t({"Routing", "SkewBound", "Wirelen", "Skew"});
+        const auto zst = core::route_zst_dme(inst, opt);
+        const auto ev_z = eval::evaluate(zst.tree, inst, opt.model);
+        t.add_row({"ZST/DME", "0", io::table::fixed(zst.wirelength, 2),
+                   io::table::fixed(ev_z.global_skew, 3)});
+        for (double bound : {1.0, 2.0, 4.0}) {
+            const auto bst = core::route_ext_bst(inst, bound, opt);
+            const auto ev_b = eval::evaluate(bst.tree, inst, opt.model);
+            t.add_row({"BST/DME", io::table::fixed(bound, 0),
+                       io::table::fixed(bst.wirelength, 2),
+                       io::table::fixed(ev_b.global_skew, 3)});
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+
+    {
+        std::cout << "Random 64-sink instances, Elmore model, bound sweep "
+                     "(wirelength relative to ZST):\n";
+        core::router_options opt;
+        io::table t({"Seed", "ZST wirelen", "BST 10ps", "BST 100ps",
+                     "BST 1000ps"});
+        for (std::uint64_t seed : {1, 2, 3}) {
+            gen::instance_spec spec = gen::paper_spec("r1");
+            spec.num_sinks = 64;
+            spec.seed = seed;
+            const auto inst = gen::generate(spec);
+            const auto zst = core::route_zst_dme(inst, opt);
+            std::vector<std::string> row{std::to_string(seed),
+                                         io::table::integer(zst.wirelength)};
+            for (double ps : {10.0, 100.0, 1000.0}) {
+                const auto bst = core::route_ext_bst(inst, ps * 1e-12, opt);
+                row.push_back(
+                    io::table::percent(bst.wirelength / zst.wirelength - 1.0));
+            }
+            t.add_row(std::move(row));
+        }
+        t.print(std::cout);
+        std::cout << "\n(The figure's qualitative claim: relaxing the bound "
+                     "never increases wirelength.)\n";
+    }
+    return 0;
+}

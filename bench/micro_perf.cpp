@@ -1,0 +1,90 @@
+// Google-benchmark micro/meso benchmarks: the geometry kernel, the merge
+// solver, and full routes across instance sizes (the CPU columns of
+// Tables I/II in miniature).
+
+#include "core/merge_solver.hpp"
+#include "core/router.hpp"
+#include "gen/grouping.hpp"
+#include "gen/instance_gen.hpp"
+#include "geom/octagon.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace astclk;
+
+void bm_tilted_distance(benchmark::State& state) {
+    const geom::tilted_rect a{geom::interval{0, 10}, geom::interval{5, 9}};
+    const geom::tilted_rect b{geom::interval{40, 44}, geom::interval{-3, 2}};
+    for (auto _ : state) benchmark::DoNotOptimize(a.distance(b));
+}
+BENCHMARK(bm_tilted_distance);
+
+void bm_merging_segment(benchmark::State& state) {
+    const geom::tilted_rect a{geom::interval{0, 10}, geom::interval{5, 9}};
+    const geom::tilted_rect b{geom::interval{40, 44}, geom::interval{-3, 2}};
+    const double d = a.distance(b);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(geom::merging_segment(a, b, 0.3 * d, 0.7 * d));
+}
+BENCHMARK(bm_merging_segment);
+
+void bm_sdr_octagon(benchmark::State& state) {
+    const geom::tilted_rect a{geom::interval{0, 10}, geom::interval{5, 9}};
+    const geom::tilted_rect b{geom::interval{40, 44}, geom::interval{-3, 2}};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(geom::shortest_distance_region(a, b));
+}
+BENCHMARK(bm_sdr_octagon);
+
+void bm_merge_plan(benchmark::State& state) {
+    topo::instance inst;
+    inst.num_groups = 2;
+    inst.sinks = {{{0, 0}, 10e-15, 0}, {{5000, 2000}, 25e-15, 1}};
+    topo::clock_tree t;
+    const auto a = t.add_leaf(inst, 0);
+    const auto b = t.add_leaf(inst, 1);
+    core::merge_solver solver(rc::delay_model::elmore(),
+                              core::skew_spec::zero());
+    for (auto _ : state) benchmark::DoNotOptimize(solver.plan(t, a, b));
+}
+BENCHMARK(bm_merge_plan);
+
+void bm_route(benchmark::State& state, core::ast_mode mode, bool grouped) {
+    gen::instance_spec spec = gen::paper_spec("r1");
+    spec.num_sinks = static_cast<int>(state.range(0));
+    auto inst = gen::generate(spec);
+    if (grouped) gen::apply_intermingled_groups(inst, 6, 1);
+    for (auto _ : state) {
+        auto r = core::route_ast_dme(inst, core::skew_spec::zero(), {}, mode);
+        benchmark::DoNotOptimize(r.wirelength);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void bm_route_zst(benchmark::State& state) {
+    gen::instance_spec spec = gen::paper_spec("r1");
+    spec.num_sinks = static_cast<int>(state.range(0));
+    const auto inst = gen::generate(spec);
+    for (auto _ : state) {
+        auto r = core::route_zst_dme(inst);
+        benchmark::DoNotOptimize(r.wirelength);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_route_zst)->Arg(64)->Arg(256)->Arg(1024)->Complexity();
+
+void bm_route_ast_exact(benchmark::State& state) {
+    bm_route(state, core::ast_mode::exact_ledger, true);
+}
+BENCHMARK(bm_route_ast_exact)->Arg(64)->Arg(256)->Arg(1024)->Complexity();
+
+void bm_route_ast_windowed(benchmark::State& state) {
+    bm_route(state, core::ast_mode::windowed, true);
+}
+BENCHMARK(bm_route_ast_windowed)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Command-line router: read an instance file, route it with a chosen
+// algorithm, verify, print the report, optionally export SVG/JSON.
+//
+//   $ ./route_cli INSTANCE [--algo ast|zst|bst|sep] [--bound PS]
+//                 [--mode auto|windowed|exact|soft] [--svg OUT.svg]
+//                 [--json OUT.json]
+//
+// Exit status: 0 when routing and verification succeed.
+
+#include "core/router.hpp"
+#include "eval/report.hpp"
+#include "eval/skew_matrix.hpp"
+#include "io/instance_io.hpp"
+#include "io/svg.hpp"
+#include "io/tree_json.hpp"
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+using namespace astclk;
+
+namespace {
+
+int usage(const char* argv0) {
+    std::cerr << "usage: " << argv0
+              << " INSTANCE [--algo ast|zst|bst|sep] [--bound PS]\n"
+                 "          [--mode auto|windowed|exact|soft]"
+                 " [--svg OUT.svg] [--json OUT.json]\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage(argv[0]);
+    std::string path = argv[1];
+    std::string algo = "ast";
+    std::string mode = "auto";
+    std::string svg_out, json_out;
+    double bound_ps = 10.0;
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto need = [&](const char* opt) -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << opt << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--algo")
+            algo = need("--algo");
+        else if (a == "--bound")
+            bound_ps = std::atof(need("--bound"));
+        else if (a == "--mode")
+            mode = need("--mode");
+        else if (a == "--svg")
+            svg_out = need("--svg");
+        else if (a == "--json")
+            json_out = need("--json");
+        else
+            return usage(argv[0]);
+    }
+
+    topo::instance inst;
+    try {
+        inst = io::load_instance(path);
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+
+    const core::router_options opt;
+    core::route_result route;
+    core::skew_spec constraint = core::skew_spec::zero();
+    if (algo == "zst") {
+        route = core::route_zst_dme(inst, opt);
+    } else if (algo == "bst") {
+        route = core::route_ext_bst(inst, bound_ps * 1e-12, opt);
+        constraint = core::skew_spec::uniform(bound_ps * 1e-12);
+    } else if (algo == "sep") {
+        route = core::route_separate_stitch(inst, opt);
+    } else if (algo == "ast") {
+        core::ast_mode m = core::ast_mode::automatic;
+        if (mode == "windowed") m = core::ast_mode::windowed;
+        else if (mode == "exact") m = core::ast_mode::exact_ledger;
+        else if (mode == "soft") m = core::ast_mode::soft_ledger;
+        else if (mode != "auto") return usage(argv[0]);
+        route = core::route_ast_dme(inst, core::skew_spec::zero(), opt, m);
+    } else {
+        return usage(argv[0]);
+    }
+
+    const auto ev = eval::evaluate(route.tree, inst, opt.model);
+    std::cout << eval::format_report(ev, inst);
+    std::cout << "  cpu             : " << route.cpu_seconds << " s\n";
+    std::cout << "  merges          : " << route.stats.merges << " ("
+              << route.stats.disjoint_merges << " cross-group, "
+              << route.stats.root_snakes << " snaked, "
+              << route.stats.interior_snakes << " interior snakes)\n";
+
+    eval::verify_options vopt;
+    if (algo == "sep" || algo == "zst" || algo == "bst" || mode != "windowed")
+        vopt.skew_tolerance = 1e-15;
+    else
+        vopt.skew_tolerance = route.stats.worst_violation + 1e-15;
+    const auto vr = eval::verify_route(route, inst, opt.model, constraint,
+                                       vopt);
+    std::cout << "  verification    : " << (vr.ok ? "OK" : vr.message)
+              << '\n';
+
+    if (!svg_out.empty()) {
+        io::save_tree_svg(svg_out, route.tree, inst);
+        std::cout << "  wrote " << svg_out << '\n';
+    }
+    if (!json_out.empty()) {
+        io::save_tree_json(json_out, route.tree, inst);
+        std::cout << "  wrote " << json_out << '\n';
+    }
+    return vr.ok ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+#include "core/router.hpp"
+#include "core/router_detail.hpp"
+
+#include <algorithm>
+
+namespace astclk::core {
+
+namespace {
+
+/// One full bottom-up + top-down route under the given consistency mode.
+route_result run_once(const topo::instance& inst, const skew_spec& spec,
+                      const router_options& opt, consistency_mode mode,
+                      std::chrono::steady_clock::time_point start) {
+    topo::clock_tree t;
+    auto roots = detail::make_leaves(inst, t, /*collapse_groups=*/false);
+    offset_ledger ledger(inst.num_groups);
+    merge_solver solver(opt.model, spec,
+                        mode == consistency_mode::windowed ? nullptr : &ledger,
+                        mode);
+    solver.set_bind_deferral_bias(opt.bind_deferral_bias);
+    return detail::finish_route(inst, solver, opt.engine, std::move(t),
+                                std::move(roots), start);
+}
+
+/// True when every bound of the spec is exactly zero (the exact ledger's
+/// domain).
+bool all_zero(const skew_spec& spec) {
+    return spec.default_bound == 0.0 &&
+           std::all_of(spec.overrides.begin(), spec.overrides.end(),
+                       [](const auto& o) { return o.second == 0.0; });
+}
+
+}  // namespace
+
+route_result route_ast_dme(const topo::instance& inst, const skew_spec& spec,
+                           const router_options& opt, ast_mode mode) {
+    const auto start = std::chrono::steady_clock::now();
+    switch (mode) {
+        case ast_mode::windowed:
+            return run_once(inst, spec, opt, consistency_mode::windowed,
+                            start);
+        case ast_mode::soft_ledger:
+            return run_once(inst, spec, opt, consistency_mode::soft, start);
+        case ast_mode::exact_ledger:
+            if (!all_zero(spec))  // exact mode needs degenerate intervals
+                return run_once(inst, spec, opt, consistency_mode::soft,
+                                start);
+            return run_once(inst, spec, opt, consistency_mode::exact, start);
+        case ast_mode::automatic:
+            break;
+    }
+
+    // Automatic: exact ledger for all-zero specs (guaranteed constraints,
+    // stable wirelength — see EXPERIMENTS.md for the windowed/soft
+    // instability study), soft ledger for bounded specs (the exact ledger
+    // needs degenerate delay intervals).
+    if (all_zero(spec))
+        return run_once(inst, spec, opt, consistency_mode::exact, start);
+    return run_once(inst, spec, opt, consistency_mode::soft, start);
+}
+
+}  // namespace astclk::core

@@ -1,0 +1,48 @@
+#include "core/embedder.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace astclk::core {
+
+embed_report embed_tree(topo::clock_tree& t, const geom::point& source) {
+    embed_report rep;
+    const topo::node_id root = t.root();
+    assert(root != topo::knull_node);
+
+    {
+        topo::tree_node& rn = t.node(root);
+        const geom::tilted_point sp = source.to_tilted();
+        const geom::tilted_point rp = rn.arc.nearest(sp);
+        rn.placed = rp.to_real();
+        rn.is_placed = true;
+        rep.source_edge = geom::chebyshev(sp, rp);
+        t.set_source_edge(rep.source_edge);
+    }
+
+    std::vector<topo::node_id> stack{root};
+    while (!stack.empty()) {
+        const topo::node_id cur = stack.back();
+        stack.pop_back();
+        const topo::tree_node& n = t.node(cur);
+        if (n.is_leaf()) continue;
+        const geom::tilted_point pp = n.placed.to_tilted();
+        const auto place_child = [&](topo::node_id child, double electrical) {
+            topo::tree_node& cn = t.node(child);
+            const geom::tilted_point cp = cn.arc.nearest(pp);
+            cn.placed = cp.to_real();
+            cn.is_placed = true;
+            const double physical = geom::chebyshev(pp, cp);
+            rep.total_physical += physical;
+            rep.total_snake += std::max(0.0, electrical - physical);
+            rep.worst_excess =
+                std::max(rep.worst_excess, physical - electrical);
+            stack.push_back(child);
+        };
+        place_child(n.left, n.edge_left);
+        place_child(n.right, n.edge_right);
+    }
+    return rep;
+}
+
+}  // namespace astclk::core

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file embedder.hpp
+/// Top-down embedding (second DME phase, Ch. V-B).
+///
+/// The bottom-up phase leaves every node with a merging arc (or region, for
+/// snaked merges) and *electrical* edge lengths.  The top-down pass fixes
+/// exact locations: the final root goes to the point of its arc nearest the
+/// clock source, then every child goes to the point of its own arc nearest
+/// its parent's location.  By construction the physical (Manhattan) length
+/// of each edge never exceeds its electrical length; the difference is
+/// realised as wire snaking and is reported for verification.
+
+#include "geom/point.hpp"
+#include "topo/tree.hpp"
+
+namespace astclk::core {
+
+struct embed_report {
+    double total_physical = 0.0;  ///< sum of Manhattan edge lengths
+    double total_snake = 0.0;     ///< electrical minus physical, summed
+    double worst_excess = 0.0;    ///< max(physical - electrical); ~0 expected
+    double source_edge = 0.0;     ///< source-to-root connection length
+};
+
+/// Embed every node of `t` (sets node.placed / node.is_placed and the
+/// tree's source edge).  Requires a routed tree with a root.
+embed_report embed_tree(topo::clock_tree& t, const geom::point& source);
+
+}  // namespace astclk::core

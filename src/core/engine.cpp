@@ -1,0 +1,242 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace astclk::core {
+
+namespace {
+constexpr double kcost_slack = 1e-9;  // layout units
+}
+
+void bottom_up_engine::note_plan(const merge_plan& p, double dist,
+                                 engine_stats& st) const {
+    ++st.merges;
+    if (p.shared_groups == 0)
+        ++st.disjoint_merges;
+    else if (p.shared_groups == 1)
+        ++st.shared_merges;
+    else {
+        ++st.shared_merges;
+        ++st.multi_shared_merges;
+    }
+    if (p.alpha + p.beta > dist + kcost_slack) ++st.root_snakes;
+    st.interior_snakes += static_cast<int>(p.snakes.size());
+    st.snake_wire += p.cost - dist;
+    if (p.violation > 0.0) {
+        ++st.forced_merges;
+        st.worst_violation = std::max(st.worst_violation, p.violation);
+    }
+}
+
+topo::node_id bottom_up_engine::reduce(topo::clock_tree& t,
+                                       std::vector<topo::node_id> roots,
+                                       engine_stats* stats) const {
+    assert(!roots.empty());
+    engine_stats local;
+    engine_stats& st = stats ? *stats : local;
+    if (roots.size() == 1) return roots.front();
+    if (opt_.order == merge_order::multi_merge)
+        return reduce_multi(t, std::move(roots), st);
+    return reduce_nearest(t, std::move(roots), st);
+}
+
+topo::node_id bottom_up_engine::reduce_nearest(topo::clock_tree& t,
+                                               std::vector<topo::node_id> roots,
+                                               engine_stats& st) const {
+    nn_index idx(&t);
+    for (topo::node_id r : roots) idx.insert(r);
+
+    std::unordered_set<std::uint64_t> banned;
+    std::unordered_map<std::uint64_t, double> cost_cache;
+    std::unordered_map<topo::node_id,
+                       std::optional<std::pair<topo::node_id, double>>>
+        nn_of;
+    const auto banned_fn = [&](std::uint64_t k) { return banned.count(k) > 0; };
+    const auto recompute = [&](topo::node_id i) {
+        nn_of[i] = idx.nearest(i, banned_fn);
+    };
+    for (topo::node_id r : roots) recompute(r);
+
+    while (idx.size() > 1) {
+        // Select the minimum-key candidate (cached true cost wins over the
+        // distance lower bound when known).
+        topo::node_id best_a = topo::knull_node, best_b = topo::knull_node;
+        double best_key = std::numeric_limits<double>::infinity();
+        double best_dist = 0.0;
+        bool best_cached = false;
+        for (topo::node_id i : idx.active()) {
+            const auto& nn = nn_of[i];
+            if (!nn.has_value()) continue;
+            const auto [j, d] = *nn;
+            double key = d;
+            bool cached = false;
+            if (auto it = cost_cache.find(pair_key(i, j));
+                it != cost_cache.end()) {
+                key = it->second;
+                cached = true;
+            }
+            if (key < best_key) {
+                best_key = key;
+                best_a = i;
+                best_b = j;
+                best_dist = d;
+                best_cached = cached;
+            }
+        }
+
+        if (best_a == topo::knull_node) {
+            // Every remaining pair is banned: forced minimax merge of the
+            // globally nearest pair (keeps the algorithm total; the residual
+            // violation is recorded).
+            double bd = std::numeric_limits<double>::infinity();
+            for (topo::node_id i : idx.active()) {
+                for (topo::node_id j : idx.active()) {
+                    if (j <= i) continue;
+                    const double d = t.node(i).arc.distance(t.node(j).arc);
+                    if (d < bd) {
+                        bd = d;
+                        best_a = i;
+                        best_b = j;
+                    }
+                }
+            }
+            const merge_plan p = solver_.plan_forced(t, best_a, best_b);
+            const topo::node_id c = solver_.commit(t, best_a, best_b, p);
+            note_plan(p, bd, st);
+            if (p.violation <= 0.0) ++st.forced_merges;  // count the fallback
+            idx.erase(best_a);
+            idx.erase(best_b);
+            idx.insert(c);
+            nn_of.erase(best_a);
+            nn_of.erase(best_b);
+            for (topo::node_id i : idx.active()) {
+                if (i != c) recompute(i);
+            }
+            recompute(c);
+            continue;
+        }
+
+        auto plan = solver_.plan(t, best_a, best_b);
+        if (!plan.has_value()) {
+            banned.insert(pair_key(best_a, best_b));
+            ++st.rejected_pairs;
+            recompute(best_a);
+            recompute(best_b);
+            continue;
+        }
+        if (opt_.true_cost_ordering && !best_cached &&
+            plan->order_cost > best_key + kcost_slack) {
+            // Lazy re-key: the true cost (snaking and any deferral bias
+            // included) exceeds the distance bound — another pair may now
+            // be cheaper.
+            cost_cache[pair_key(best_a, best_b)] = plan->order_cost;
+            continue;
+        }
+
+        const topo::node_id c = solver_.commit(t, best_a, best_b, *plan);
+        note_plan(*plan, best_dist, st);
+        idx.erase(best_a);
+        idx.erase(best_b);
+        nn_of.erase(best_a);
+        nn_of.erase(best_b);
+        idx.insert(c);
+        // Refresh stale entries and fold the new root into existing ones.
+        for (topo::node_id i : idx.active()) {
+            if (i == c) continue;
+            auto& nn = nn_of[i];
+            if (nn.has_value() &&
+                (nn->first == best_a || nn->first == best_b)) {
+                recompute(i);
+                continue;
+            }
+            const double dc = t.node(i).arc.distance(t.node(c).arc);
+            if (!nn.has_value() || dc < nn->second)
+                nn = std::make_pair(c, dc);
+        }
+        recompute(c);
+    }
+    return idx.active().front();
+}
+
+topo::node_id bottom_up_engine::reduce_multi(topo::clock_tree& t,
+                                             std::vector<topo::node_id> roots,
+                                             engine_stats& st) const {
+    nn_index idx(&t);
+    for (topo::node_id r : roots) idx.insert(r);
+    std::unordered_set<std::uint64_t> banned;
+    const auto banned_fn = [&](std::uint64_t k) { return banned.count(k) > 0; };
+
+    while (idx.size() > 1) {
+        ++st.rounds;
+        // Fresh nearest neighbours each round.
+        std::unordered_map<topo::node_id, std::pair<topo::node_id, double>> nn;
+        for (topo::node_id i : idx.active()) {
+            if (auto n = idx.nearest(i, banned_fn)) nn[i] = *n;
+        }
+        // Mutually nearest pairs, cheapest first (Edahiro's multi-merge).
+        struct cand {
+            topo::node_id a, b;
+            double d;
+        };
+        std::vector<cand> cands;
+        for (const auto& [i, n] : nn) {
+            const auto [j, d] = n;
+            if (j < i) continue;  // dedup (i, j) with i < j
+            auto jt = nn.find(j);
+            if (jt != nn.end() && jt->second.first == i)
+                cands.push_back({i, j, d});
+        }
+        std::sort(cands.begin(), cands.end(),
+                  [](const cand& x, const cand& y) { return x.d < y.d; });
+
+        bool merged_any = false;
+        std::unordered_set<topo::node_id> used;
+        for (const cand& cd : cands) {
+            if (used.count(cd.a) || used.count(cd.b)) continue;
+            auto plan = solver_.plan(t, cd.a, cd.b);
+            if (!plan.has_value()) {
+                banned.insert(pair_key(cd.a, cd.b));
+                ++st.rejected_pairs;
+                continue;
+            }
+            const topo::node_id c = solver_.commit(t, cd.a, cd.b, *plan);
+            note_plan(*plan, cd.d, st);
+            used.insert(cd.a);
+            used.insert(cd.b);
+            idx.erase(cd.a);
+            idx.erase(cd.b);
+            idx.insert(c);
+            merged_any = true;
+        }
+        if (merged_any) continue;
+
+        // No mutual pair merged this round: force progress on the globally
+        // nearest (possibly banned) pair.
+        topo::node_id ba = topo::knull_node, bb = topo::knull_node;
+        double bd = std::numeric_limits<double>::infinity();
+        for (topo::node_id i : idx.active()) {
+            for (topo::node_id j : idx.active()) {
+                if (j <= i) continue;
+                const double d = t.node(i).arc.distance(t.node(j).arc);
+                if (d < bd) {
+                    bd = d;
+                    ba = i;
+                    bb = j;
+                }
+            }
+        }
+        const merge_plan p = solver_.plan_forced(t, ba, bb);
+        const topo::node_id c = solver_.commit(t, ba, bb, p);
+        note_plan(p, bd, st);
+        idx.erase(ba);
+        idx.erase(bb);
+        idx.insert(c);
+    }
+    return idx.active().front();
+}
+
+}  // namespace astclk::core

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file engine.hpp
+/// The bottom-up merging engine shared by every router (Fig. 6 skeleton):
+///
+///     1. initialise the active set with the given roots
+///     2. while more than one root remains:
+///          pick the cheapest pair, solve its merge, commit it
+///     3. return the last root
+///
+/// Pair selection follows the paper's minimum-merging-cost scheme with two
+/// optional enhancements from Ch. V-F:
+///   * lazy true-cost re-keying — pairs popped by the distance lower bound
+///     are re-inserted with their full plan cost (snake wire included) when
+///     it exceeds the next candidate's key;
+///   * Edahiro-style multi-merge rounds — all *mutually* nearest pairs are
+///     merged per round, cutting nearest-neighbour recomputations.
+///
+/// Pairs whose merge is infeasible (irreconcilable multi-group conflicts,
+/// Ch. V-E) are banned and re-proposed only if nothing else remains, in
+/// which case a forced minimax merge keeps the algorithm total.
+
+#include "core/merge_solver.hpp"
+#include "core/nn_index.hpp"
+#include "topo/tree.hpp"
+
+#include <vector>
+
+namespace astclk::core {
+
+/// Pair-selection strategy (Ch. V-A and V-F).
+enum class merge_order {
+    nearest_pair,     ///< one minimum-key pair per step (greedy-DME style)
+    multi_merge,      ///< all mutually nearest pairs per round (V-F.1)
+};
+
+struct engine_options {
+    merge_order order = merge_order::nearest_pair;
+    /// Re-key popped pairs with their true plan cost before committing;
+    /// disabling reverts to pure arc-distance ordering (ablation knob).
+    bool true_cost_ordering = true;
+};
+
+struct engine_stats {
+    int merges = 0;
+    int disjoint_merges = 0;      ///< case 2: no shared group
+    int shared_merges = 0;        ///< cases 1 and 3: >= 1 shared group
+    int multi_shared_merges = 0;  ///< case 4: >= 2 shared groups
+    int root_snakes = 0;          ///< merges embedded with root-edge snaking
+    int interior_snakes = 0;      ///< Eq. 5.2-style interior repairs
+    double snake_wire = 0.0;      ///< total wire spent beyond arc distances
+    int rejected_pairs = 0;       ///< plans refused as infeasible
+    int forced_merges = 0;        ///< minimax fallbacks (should stay 0)
+    double worst_violation = 0.0; ///< residual skew excess of forced merges
+    int rounds = 0;               ///< multi-merge rounds (if enabled)
+};
+
+/// Merges a set of existing roots down to a single root.
+class bottom_up_engine {
+  public:
+    bottom_up_engine(merge_solver solver, engine_options opt = {})
+        : solver_(std::move(solver)), opt_(opt) {}
+
+    [[nodiscard]] const merge_solver& solver() const { return solver_; }
+
+    /// Repeatedly merge until one root remains; returns it.  `roots` must
+    /// be non-empty and refer to live roots of `t`.
+    topo::node_id reduce(topo::clock_tree& t, std::vector<topo::node_id> roots,
+                         engine_stats* stats = nullptr) const;
+
+  private:
+    topo::node_id reduce_nearest(topo::clock_tree& t,
+                                 std::vector<topo::node_id> roots,
+                                 engine_stats& st) const;
+    topo::node_id reduce_multi(topo::clock_tree& t,
+                               std::vector<topo::node_id> roots,
+                               engine_stats& st) const;
+
+    void note_plan(const merge_plan& p, double dist, engine_stats& st) const;
+
+    merge_solver solver_;
+    engine_options opt_;
+};
+
+}  // namespace astclk::core

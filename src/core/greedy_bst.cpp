@@ -1,0 +1,16 @@
+#include "core/router.hpp"
+#include "core/router_detail.hpp"
+
+namespace astclk::core {
+
+route_result route_ext_bst(const topo::instance& inst, double global_bound,
+                           const router_options& opt) {
+    const auto start = std::chrono::steady_clock::now();
+    topo::clock_tree t;
+    auto roots = detail::make_leaves(inst, t, /*collapse_groups=*/true);
+    merge_solver solver(opt.model, skew_spec::uniform(global_bound));
+    return detail::finish_route(inst, solver, opt.engine, std::move(t),
+                                std::move(roots), start);
+}
+
+}  // namespace astclk::core

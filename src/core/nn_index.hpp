@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file nn_index.hpp
+/// Nearest-neighbour selection over active subtree roots.
+///
+/// Greedy-DME / greedy-BST / AST-DME all repeatedly merge the pair of
+/// active roots with minimum merging cost; the arc (Manhattan) distance is
+/// an admissible lower bound on that cost (snaking only adds wire), so the
+/// engine scans by distance and lazily re-keys with the true plan cost.
+///
+/// The index keeps the active set and answers "nearest active root to X,
+/// excluding banned partners".  Sizes here are a few thousand, so a tuned
+/// linear scan (two interval gaps per candidate) is both simple and fast
+/// enough for the paper's largest instance (r5, 3101 sinks); the interface
+/// would admit a grid drop-in if ever needed.
+
+#include "topo/tree.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+namespace astclk::core {
+
+/// Symmetric pair key for ban lists / cost caches.
+[[nodiscard]] inline std::uint64_t pair_key(topo::node_id a, topo::node_id b) {
+    const std::uint32_t lo = static_cast<std::uint32_t>(std::min(a, b));
+    const std::uint32_t hi = static_cast<std::uint32_t>(std::max(a, b));
+    return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+class nn_index {
+  public:
+    explicit nn_index(const topo::clock_tree* tree) : tree_(tree) {}
+
+    void insert(topo::node_id id);
+    void erase(topo::node_id id);
+
+    [[nodiscard]] const std::vector<topo::node_id>& active() const {
+        return active_;
+    }
+    [[nodiscard]] std::size_t size() const { return active_.size(); }
+
+    /// Nearest active root to `id` by arc distance, skipping `id` itself and
+    /// any partner for which `banned(pair_key)` returns true.  nullopt when
+    /// no candidate remains.
+    [[nodiscard]] std::optional<std::pair<topo::node_id, double>> nearest(
+        topo::node_id id,
+        const std::function<bool(std::uint64_t)>& banned) const;
+
+  private:
+    const topo::clock_tree* tree_;
+    std::vector<topo::node_id> active_;
+    std::unordered_set<topo::node_id> active_set_;
+};
+
+}  // namespace astclk::core

@@ -1,0 +1,77 @@
+#include "core/offset_ledger.hpp"
+
+#include <cassert>
+
+namespace astclk::core {
+
+offset_ledger::offset_ledger(topo::group_id num_groups)
+    : parent_(static_cast<std::size_t>(num_groups)),
+      pot_(static_cast<std::size_t>(num_groups), 0.0),
+      rank_(static_cast<std::size_t>(num_groups), 0),
+      components_(num_groups) {
+    for (topo::group_id g = 0; g < num_groups; ++g)
+        parent_[static_cast<std::size_t>(g)] = g;
+}
+
+topo::group_id offset_ledger::find(topo::group_id g, double& pot) const {
+    // Iterative find with full path compression, accumulating potentials.
+    topo::group_id root = g;
+    double acc = 0.0;
+    while (parent_[static_cast<std::size_t>(root)] != root) {
+        acc += pot_[static_cast<std::size_t>(root)];
+        root = parent_[static_cast<std::size_t>(root)];
+    }
+    // Second pass: point everything at the root with adjusted potentials.
+    topo::group_id cur = g;
+    double cur_pot = acc;
+    while (parent_[static_cast<std::size_t>(cur)] != root) {
+        const topo::group_id next = parent_[static_cast<std::size_t>(cur)];
+        const double next_pot =
+            cur_pot - pot_[static_cast<std::size_t>(cur)];
+        parent_[static_cast<std::size_t>(cur)] = root;
+        pot_[static_cast<std::size_t>(cur)] = cur_pot;
+        cur = next;
+        cur_pot = next_pot;
+    }
+    pot = acc;
+    return root;
+}
+
+bool offset_ledger::same(topo::group_id g, topo::group_id h) const {
+    double pg = 0.0, ph = 0.0;
+    return find(g, pg) == find(h, ph);
+}
+
+double offset_ledger::offset(topo::group_id g, topo::group_id h) const {
+    double pg = 0.0, ph = 0.0;
+    const topo::group_id rg = find(g, pg);
+    const topo::group_id rh = find(h, ph);
+    assert(rg == rh && "offset() requires bound groups");
+    (void)rg;
+    (void)rh;
+    return pg - ph;
+}
+
+void offset_ledger::bind(topo::group_id g, topo::group_id h, double off) {
+    double pg = 0.0, ph = 0.0;
+    const topo::group_id rg = find(g, pg);
+    const topo::group_id rh = find(h, ph);
+    assert(rg != rh && "bind() requires unbound groups");
+    // Want phi(g) - phi(h) == off with phi measured from the common root.
+    // Attach the lower-rank root beneath the higher-rank one.
+    if (rank_[static_cast<std::size_t>(rg)] <
+        rank_[static_cast<std::size_t>(rh)]) {
+        // phi_new(rg) = phi(h) + off - pg ... relative to rh's root.
+        parent_[static_cast<std::size_t>(rg)] = rh;
+        pot_[static_cast<std::size_t>(rg)] = ph + off - pg;
+    } else {
+        parent_[static_cast<std::size_t>(rh)] = rg;
+        pot_[static_cast<std::size_t>(rh)] = pg - off - ph;
+        if (rank_[static_cast<std::size_t>(rg)] ==
+            rank_[static_cast<std::size_t>(rh)])
+            ++rank_[static_cast<std::size_t>(rg)];
+    }
+    --components_;
+}
+
+}  // namespace astclk::core

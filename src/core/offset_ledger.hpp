@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file offset_ledger.hpp
+/// Global inter-group offset bookkeeping for zero intra-group skew AST.
+///
+/// The AST formulation (Ch. II) notes that solving the problem implicitly
+/// fixes the inter-group skews S_ij ("offsets").  In a bottom-up merge the
+/// offset between groups g and h is *frozen* the first time sinks of both
+/// live in one subtree: all wire added above that subtree delays them
+/// equally.  Because a group's sinks are spread over many subtrees, two
+/// subtrees can freeze the same pair of groups at *different* offsets — and
+/// when those subtrees eventually meet, the zero-skew constraints of g and
+/// h become unsatisfiable (the paper's Fig. 5 conflict, which wire sneaking
+/// can only repair in shallow cases).
+///
+/// The ledger prevents the conflict outright: a weighted union-find over
+/// group ids stores, per connected component, a potential phi(g) such that
+/// every committed co-residence satisfies t_g - t_h = phi(g) - phi(h).
+/// The first co-residence of two components is a *free* merge (the router
+/// picks the offset, e.g. by delay balancing) and binds them; every later
+/// merge touching bound components is constrained to the recorded offsets,
+/// which keeps all zero-skew requirements consistent forever.
+
+#include "topo/instance.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace astclk::core {
+
+class offset_ledger {
+  public:
+    /// Ledger over group ids [0, num_groups); all groups start unbound.
+    explicit offset_ledger(topo::group_id num_groups);
+
+    /// Number of groups tracked.
+    [[nodiscard]] topo::group_id size() const {
+        return static_cast<topo::group_id>(parent_.size());
+    }
+
+    /// True when g and h are already offset-bound (same component).
+    [[nodiscard]] bool same(topo::group_id g, topo::group_id h) const;
+
+    /// phi(g) - phi(h); requires same(g, h).
+    [[nodiscard]] double offset(topo::group_id g, topo::group_id h) const;
+
+    /// Record t_g - t_h == off.  Requires !same(g, h).
+    void bind(topo::group_id g, topo::group_id h, double off);
+
+    /// Number of remaining components (k at start, 1 when fully bound).
+    [[nodiscard]] int components() const { return components_; }
+
+  private:
+    /// Root of g's component; `pot` receives phi(g) relative to the root.
+    [[nodiscard]] topo::group_id find(topo::group_id g, double& pot) const;
+
+    // Mutable for path compression in const lookups.
+    mutable std::vector<topo::group_id> parent_;
+    mutable std::vector<double> pot_;  // potential relative to parent
+    std::vector<int> rank_;
+    int components_ = 0;
+};
+
+}  // namespace astclk::core

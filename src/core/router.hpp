@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file router.hpp
+/// Shared result type and options for the four routers built on the merge
+/// engine:
+///
+///  * `route_zst_dme`       — classic zero-skew DME over all sinks
+///                            (greedy-DME flavour; groups ignored);
+///  * `route_ext_bst`       — greedy bounded-skew tree with a *global*
+///                            bound over all sinks: the paper's EXT-BST
+///                            baseline (10 ps in the tables);
+///  * `route_ast_dme`       — the paper's contribution: per-group skew
+///                            constraints only (zero by default, bounded
+///                            via skew_spec), full cross-group freedom;
+///  * `route_separate_stitch` — the prior work's strategy [12]: a separate
+///                            zero-skew tree per group, stitched together
+///                            afterwards (the strawman of Fig. 2).
+
+#include "core/embedder.hpp"
+#include "core/engine.hpp"
+#include "core/merge_solver.hpp"
+#include "topo/instance.hpp"
+#include "topo/tree.hpp"
+
+namespace astclk::core {
+
+struct route_result {
+    topo::clock_tree tree;
+    engine_stats stats;
+    embed_report embed;
+    double wirelength = 0.0;   ///< total electrical wirelength (paper metric)
+    double cpu_seconds = 0.0;  ///< wall time of the route call
+    bool used_ledger_fallback = false;  ///< AST auto mode: windowed attempt
+                                        ///< violated a bound, exact rerun used
+};
+
+/// Strategy for AST-DME (see DESIGN.md §3):
+///  * `windowed` — the paper's literal algorithm (Fig. 6 cases): per-merge
+///    feasibility windows, interior snaking for conflicts (Eqs. 5.1-5.3),
+///    infeasible pairs rejected.  Exploits inter-group freedom merge by
+///    merge; rare irreparable endgame conflicts surface as violations.
+///  * `soft_ledger` — windows plus the offset ledger as *intent*: merges
+///    follow the globally consistent offset when it is free and drift only
+///    in lieu of snake wire, which concentrates (and mostly eliminates)
+///    conflicts.
+///  * `exact_ledger` — globally consistent inter-group offsets throughout:
+///    zero intra-group skew guaranteed, conflicts impossible, but free
+///    offsets commit early (conservative wirelength).
+///  * `automatic` — soft_ledger first; if a forced merge left any residual
+///    violation, rerun with the exact ledger (sound *and* usually cheap).
+enum class ast_mode {
+    automatic,
+    windowed,
+    soft_ledger,
+    exact_ledger,
+};
+
+struct router_options {
+    rc::delay_model model = rc::delay_model::elmore();
+    engine_options engine;
+    /// AST only: ordering bias (layout units) deferring merges that would
+    /// bind two inter-group offset components (see merge_solver).
+    double bind_deferral_bias = 0.0;
+};
+
+/// Zero-skew tree over all sinks, groups ignored.
+route_result route_zst_dme(const topo::instance& inst,
+                           const router_options& opt = {});
+
+/// Bounded-skew tree over all sinks with a single global bound (seconds);
+/// `route_ext_bst(inst, 10e-12)` reproduces the paper's baseline rows.
+route_result route_ext_bst(const topo::instance& inst, double global_bound,
+                           const router_options& opt = {});
+
+/// AST-DME with per-group bounds (default: zero intra-group skew).
+/// `mode` selects the conflict strategy; `exact_ledger` requires an
+/// all-zero spec and falls back to `windowed` otherwise.
+route_result route_ast_dme(const topo::instance& inst,
+                           const skew_spec& spec = skew_spec::zero(),
+                           const router_options& opt = {},
+                           ast_mode mode = ast_mode::automatic);
+
+/// Separate zero-skew tree per group, then greedy stitching of the group
+/// roots (no inter-group constraints during stitching).
+route_result route_separate_stitch(const topo::instance& inst,
+                                   const router_options& opt = {});
+
+}  // namespace astclk::core

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file router_detail.hpp
+/// Internal plumbing shared by the router entry points: leaf construction
+/// (optionally collapsing all groups into one), the engine run, embedding
+/// and timing.  Not part of the public API.
+
+#include "core/router.hpp"
+
+#include <chrono>
+
+namespace astclk::core::detail {
+
+/// Create one leaf per sink.  When `collapse_groups` is set every leaf is
+/// booked under synthetic group 0, which turns the associative problem into
+/// a conventional single-group one (ZST / EXT-BST baselines).
+inline std::vector<topo::node_id> make_leaves(const topo::instance& inst,
+                                              topo::clock_tree& t,
+                                              bool collapse_groups) {
+    std::vector<topo::node_id> roots;
+    roots.reserve(inst.sinks.size());
+    for (std::size_t i = 0; i < inst.sinks.size(); ++i) {
+        const topo::node_id id =
+            t.add_leaf(inst, static_cast<std::int32_t>(i));
+        if (collapse_groups)
+            t.node(id).delays = topo::group_delays::single(0);
+        roots.push_back(id);
+    }
+    return roots;
+}
+
+/// Reduce the given roots, embed, and fill in the result bookkeeping.
+inline route_result finish_route(const topo::instance& inst,
+                                 const merge_solver& solver,
+                                 const engine_options& eopt,
+                                 topo::clock_tree t,
+                                 std::vector<topo::node_id> roots,
+                                 std::chrono::steady_clock::time_point start) {
+    route_result res;
+    bottom_up_engine engine(solver, eopt);
+    const topo::node_id root = engine.reduce(t, std::move(roots), &res.stats);
+    t.set_root(root);
+    res.embed = embed_tree(t, inst.source);
+    res.tree = std::move(t);
+    res.wirelength = res.tree.total_wirelength();
+    res.cpu_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return res;
+}
+
+}  // namespace astclk::core::detail

@@ -1,0 +1,45 @@
+#include "core/router.hpp"
+#include "core/router_detail.hpp"
+
+namespace astclk::core {
+
+route_result route_separate_stitch(const topo::instance& inst,
+                                   const router_options& opt) {
+    const auto start = std::chrono::steady_clock::now();
+    topo::clock_tree t;
+    auto leaves = detail::make_leaves(inst, t, /*collapse_groups=*/false);
+
+    // Phase 1: a zero-skew tree per group, built in isolation — the prior
+    // work's construction [12].  Each group root keeps its own group id, so
+    // phase 2 sees pairwise-disjoint subtrees.
+    offset_ledger ledger(inst.num_groups);
+    merge_solver solver(opt.model, skew_spec::zero(), &ledger,
+                        consistency_mode::exact);
+    bottom_up_engine engine(solver, opt.engine);
+    route_result res;
+    std::vector<topo::node_id> group_roots;
+    for (topo::group_id g = 0; g < inst.num_groups; ++g) {
+        std::vector<topo::node_id> members;
+        for (std::size_t i = 0; i < inst.sinks.size(); ++i) {
+            if (inst.sinks[i].group == g)
+                members.push_back(leaves[i]);
+        }
+        if (members.empty()) continue;
+        group_roots.push_back(engine.reduce(t, std::move(members), &res.stats));
+    }
+
+    // Phase 2: stitch the per-group trees (no inter-group constraints, so
+    // every stitch is a disjoint-group merge — but the damage from building
+    // the trees separately is already done, cf. Fig. 2).
+    const topo::node_id root = engine.reduce(t, std::move(group_roots), &res.stats);
+    t.set_root(root);
+    res.embed = embed_tree(t, inst.source);
+    res.tree = std::move(t);
+    res.wirelength = res.tree.total_wirelength();
+    res.cpu_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return res;
+}
+
+}  // namespace astclk::core

@@ -1,0 +1,85 @@
+#include "eval/elmore_eval.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace astclk::eval {
+
+eval_result evaluate(const topo::clock_tree& t, const topo::instance& inst,
+                     const rc::delay_model& model) {
+    eval_result r;
+    const std::size_t n_nodes = t.size();
+    const std::size_t n_sinks = inst.sinks.size();
+    r.sink_delay.assign(n_sinks, 0.0);
+    r.node_cap.assign(n_nodes, 0.0);
+
+    // Bottom-up: downstream capacitance from scratch.
+    const auto order = t.postorder();
+    for (topo::node_id id : order) {
+        const topo::tree_node& n = t.node(id);
+        const auto idx = static_cast<std::size_t>(id);
+        if (n.is_leaf()) {
+            r.node_cap[idx] =
+                inst.sinks[static_cast<std::size_t>(n.sink_index)].cap;
+        } else {
+            r.node_cap[idx] =
+                r.node_cap[static_cast<std::size_t>(n.left)] +
+                r.node_cap[static_cast<std::size_t>(n.right)] +
+                model.wire_cap(n.edge_left) + model.wire_cap(n.edge_right);
+        }
+        r.max_cap_error = std::max(
+            r.max_cap_error, std::fabs(r.node_cap[idx] - n.subtree_cap));
+    }
+
+    // Top-down: source-to-node delays through electrical edge lengths.
+    std::vector<double> node_delay(n_nodes, 0.0);
+    const topo::node_id root = t.root();
+    assert(root != topo::knull_node);
+    node_delay[static_cast<std::size_t>(root)] = model.edge_delay(
+        t.source_edge(), r.node_cap[static_cast<std::size_t>(root)]);
+    r.total_wirelength = t.source_edge();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const topo::tree_node& n = t.node(*it);
+        if (n.is_leaf()) {
+            r.sink_delay[static_cast<std::size_t>(n.sink_index)] =
+                node_delay[static_cast<std::size_t>(*it)];
+            continue;
+        }
+        const double base = node_delay[static_cast<std::size_t>(*it)];
+        node_delay[static_cast<std::size_t>(n.left)] =
+            base + model.edge_delay(n.edge_left,
+                                    r.node_cap[static_cast<std::size_t>(n.left)]);
+        node_delay[static_cast<std::size_t>(n.right)] =
+            base + model.edge_delay(
+                       n.edge_right,
+                       r.node_cap[static_cast<std::size_t>(n.right)]);
+        r.total_wirelength += n.edge_left + n.edge_right;
+    }
+
+    // Skew statistics.
+    r.min_delay = std::numeric_limits<double>::infinity();
+    r.max_delay = -std::numeric_limits<double>::infinity();
+    const auto k = static_cast<std::size_t>(inst.num_groups);
+    r.group_min.assign(k, std::numeric_limits<double>::infinity());
+    r.group_max.assign(k, -std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < n_sinks; ++i) {
+        const double d = r.sink_delay[i];
+        r.min_delay = std::min(r.min_delay, d);
+        r.max_delay = std::max(r.max_delay, d);
+        const auto g = static_cast<std::size_t>(inst.sinks[i].group);
+        r.group_min[g] = std::min(r.group_min[g], d);
+        r.group_max[g] = std::max(r.group_max[g], d);
+    }
+    r.global_skew = r.max_delay - r.min_delay;
+    r.group_skew.assign(k, 0.0);
+    for (std::size_t g = 0; g < k; ++g) {
+        if (r.group_max[g] >= r.group_min[g])
+            r.group_skew[g] = r.group_max[g] - r.group_min[g];
+        r.max_intra_group_skew =
+            std::max(r.max_intra_group_skew, r.group_skew[g]);
+    }
+    return r;
+}
+
+}  // namespace astclk::eval

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file elmore_eval.hpp
+/// Independent Elmore-delay evaluation of a routed clock tree.
+///
+/// The evaluator deliberately ignores the engine's bookkeeping: it rebuilds
+/// the RC tree from nothing but the tree topology, the *electrical* edge
+/// lengths, the sink loads and the delay model, then recomputes every sink
+/// delay and all skew figures.  It is the ground truth that the tests hold
+/// the merge engine's incremental bookkeeping against, and the source of
+/// the "Wirelen" / "Maximum Skew" columns of the paper's tables.
+
+#include "rc/delay_model.hpp"
+#include "topo/instance.hpp"
+#include "topo/tree.hpp"
+
+#include <vector>
+
+namespace astclk::eval {
+
+struct eval_result {
+    /// Source-to-sink Elmore delay per sink index (seconds).
+    std::vector<double> sink_delay;
+    /// Downstream capacitance per node id (farads), recomputed from scratch.
+    std::vector<double> node_cap;
+
+    double total_wirelength = 0.0;  ///< electrical wirelength incl. source edge
+    double min_delay = 0.0;
+    double max_delay = 0.0;
+    double global_skew = 0.0;  ///< max - min over all sinks (the paper's
+                               ///< "Maximum Skew" column)
+
+    /// Per group: [min, max] delay and skew (max - min).
+    std::vector<double> group_min, group_max, group_skew;
+    double max_intra_group_skew = 0.0;
+
+    /// Worst |engine subtree_cap - recomputed cap| over all nodes.
+    double max_cap_error = 0.0;
+};
+
+/// Evaluate `t` (routed over `inst`) under `model`.
+[[nodiscard]] eval_result evaluate(const topo::clock_tree& t,
+                                   const topo::instance& inst,
+                                   const rc::delay_model& model);
+
+}  // namespace astclk::eval

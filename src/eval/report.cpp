@@ -1,0 +1,94 @@
+#include "eval/report.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace astclk::eval {
+
+verify_result verify_route(const core::route_result& route,
+                           const topo::instance& inst,
+                           const rc::delay_model& model,
+                           const core::skew_spec& spec,
+                           const verify_options& opt) {
+    verify_result out;
+    const topo::clock_tree& t = route.tree;
+
+    const auto fail = [&](const std::string& msg) {
+        if (out.ok) {
+            out.ok = false;
+            out.message = msg;
+        }
+    };
+
+    const std::string structure = t.check_structure(inst.sinks.size());
+    if (!structure.empty()) {
+        fail("structure: " + structure);
+        return out;
+    }
+
+    const eval_result ev = evaluate(t, inst, model);
+
+    // Capacitance bookkeeping.
+    const double cap_scale =
+        std::max(1e-18, ev.node_cap[static_cast<std::size_t>(t.root())]);
+    out.max_cap_error = ev.max_cap_error;
+    if (ev.max_cap_error > opt.cap_rel_tolerance * cap_scale) {
+        std::ostringstream os;
+        os << "cap bookkeeping off by " << ev.max_cap_error << " F";
+        fail(os.str());
+    }
+
+    // Intra-group skew against bounds.
+    for (topo::group_id g = 0; g < inst.num_groups; ++g) {
+        const double skew = ev.group_skew[static_cast<std::size_t>(g)];
+        const double excess = skew - spec.bound(g);
+        out.max_group_violation = std::max(out.max_group_violation, excess);
+        if (excess > opt.skew_tolerance) {
+            std::ostringstream os;
+            os << "group " << g << " skew " << rc::to_ps(skew)
+               << " ps exceeds bound " << rc::to_ps(spec.bound(g)) << " ps";
+            fail(os.str());
+        }
+    }
+
+    // Engine delay map vs recomputed delays.  Collapsed-group routers book
+    // everything under a single synthetic group; detect and handle that.
+    const topo::tree_node& root = t.node(t.root());
+    const double source_delay = model.edge_delay(
+        t.source_edge(), ev.node_cap[static_cast<std::size_t>(t.root())]);
+    const double delay_scale = std::max(1e-15, ev.max_delay);
+    for (std::size_t i = 0; i < inst.sinks.size(); ++i) {
+        const double from_root = ev.sink_delay[i] - source_delay;
+        const geom::interval* iv = root.delays.find(inst.sinks[i].group);
+        if (iv == nullptr && root.delays.size() == 1)
+            iv = &root.delays.entries().front().second;
+        if (iv == nullptr) {
+            fail("root delay map misses a group");
+            break;
+        }
+        const double err =
+            std::max(iv->lo - from_root, from_root - iv->hi);
+        out.max_delay_bookkeeping_error =
+            std::max(out.max_delay_bookkeeping_error, err);
+        if (err > opt.delay_rel_tolerance * delay_scale) {
+            std::ostringstream os;
+            os << "sink " << i << " delay " << rc::to_ps(from_root)
+               << " ps outside booked interval [" << rc::to_ps(iv->lo) << ", "
+               << rc::to_ps(iv->hi) << "] ps";
+            fail(os.str());
+        }
+    }
+
+    // Embedding feasibility.
+    out.worst_embed_excess = route.embed.worst_excess;
+    if (route.embed.worst_excess > opt.embed_tolerance) {
+        std::ostringstream os;
+        os << "embedding exceeds electrical length by "
+           << route.embed.worst_excess << " units";
+        fail(os.str());
+    }
+
+    return out;
+}
+
+}  // namespace astclk::eval

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file report.hpp
+/// End-to-end verification of a routed tree against its constraints.
+///
+/// `verify_route` re-derives everything with the independent evaluator and
+/// checks, with explicit tolerances:
+///   * structural consistency (every sink exactly once, parents coherent);
+///   * the engine's capacitance bookkeeping against the recomputed caps;
+///   * every intra-group skew against its bound;
+///   * the engine's root delay map against recomputed sink delays;
+///   * the embedding (physical lengths never exceed electrical ones).
+
+#include "core/merge_solver.hpp"
+#include "core/router.hpp"
+#include "eval/elmore_eval.hpp"
+
+#include <string>
+
+namespace astclk::eval {
+
+struct verify_options {
+    /// Absolute skew slack in seconds (default 1e-3 ps — far below the
+    /// paper's 1 ps reporting resolution, far above fp rounding).
+    double skew_tolerance = 1e-15;
+    /// Relative capacitance bookkeeping tolerance.
+    double cap_rel_tolerance = 1e-9;
+    /// Relative delay bookkeeping tolerance.
+    double delay_rel_tolerance = 1e-9;
+    /// Embedding slack in layout units.
+    double embed_tolerance = 1e-5;
+};
+
+struct verify_result {
+    bool ok = true;
+    std::string message;  ///< first failure, empty when ok
+
+    double max_cap_error = 0.0;
+    double max_delay_bookkeeping_error = 0.0;
+    double max_group_violation = 0.0;  ///< worst (skew - bound), <= 0 when met
+    double worst_embed_excess = 0.0;
+};
+
+/// Full verification of a route of `inst` under `spec`.
+[[nodiscard]] verify_result verify_route(const core::route_result& route,
+                                         const topo::instance& inst,
+                                         const rc::delay_model& model,
+                                         const core::skew_spec& spec,
+                                         const verify_options& opt = {});
+
+}  // namespace astclk::eval

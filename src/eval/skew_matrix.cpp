@@ -1,0 +1,67 @@
+#include "eval/skew_matrix.hpp"
+
+#include "rc/wire.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace astclk::eval {
+
+skew_matrix::skew_matrix(const eval_result& ev, topo::group_id num_groups) {
+    rep_.resize(static_cast<std::size_t>(num_groups), 0.0);
+    for (topo::group_id g = 0; g < num_groups; ++g) {
+        const auto idx = static_cast<std::size_t>(g);
+        rep_[idx] = 0.5 * (ev.group_min[idx] + ev.group_max[idx]);
+    }
+}
+
+double skew_matrix::max_abs_offset() const {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < rep_.size(); ++i)
+        for (std::size_t j = i + 1; j < rep_.size(); ++j)
+            worst = std::max(worst, std::fabs(rep_[i] - rep_[j]));
+    return worst;
+}
+
+std::pair<topo::group_id, topo::group_id> skew_matrix::extreme_pair() const {
+    std::pair<topo::group_id, topo::group_id> best{0, 0};
+    double worst = -1.0;
+    for (std::size_t i = 0; i < rep_.size(); ++i) {
+        for (std::size_t j = 0; j < rep_.size(); ++j) {
+            if (i == j) continue;
+            const double d = rep_[j] - rep_[i];
+            if (d > worst) {
+                worst = d;
+                best = {static_cast<topo::group_id>(i),
+                        static_cast<topo::group_id>(j)};
+            }
+        }
+    }
+    return best;
+}
+
+std::string format_report(const eval_result& ev, const topo::instance& inst) {
+    std::ostringstream os;
+    os << "route report: " << (inst.name.empty() ? "instance" : inst.name)
+       << " (" << inst.sinks.size() << " sinks, " << inst.num_groups
+       << " groups)\n";
+    os << "  wirelength      : " << ev.total_wirelength << " units\n";
+    os << "  delay range     : [" << rc::to_ps(ev.min_delay) << ", "
+       << rc::to_ps(ev.max_delay) << "] ps\n";
+    os << "  global skew     : " << rc::to_ps(ev.global_skew) << " ps\n";
+    os << "  max intra-group : " << rc::to_ps(ev.max_intra_group_skew)
+       << " ps\n";
+    const skew_matrix m(ev, inst.num_groups);
+    os << "  inter-group span: " << rc::to_ps(m.max_abs_offset()) << " ps\n";
+    os << "  group offsets S_ij (ps, row minus column):\n";
+    for (topo::group_id i = 0; i < inst.num_groups; ++i) {
+        os << "   g" << i << ":";
+        for (topo::group_id j = 0; j < inst.num_groups; ++j) {
+            os << ' ' << rc::to_ps(m.offset(i, j));
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace astclk::eval

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file skew_matrix.hpp
+/// The inter-group skew by-product.
+///
+/// Ch. II of the paper: solving the AST problem implicitly fixes the skew
+/// `S_ij` between every pair of groups (called *offsets* in the prior
+/// work).  This module extracts them from an evaluated route — the
+/// quantity behind the "Maximum Skew" column of Tables I/II — plus a
+/// human-readable route report used by the examples.
+
+#include "eval/elmore_eval.hpp"
+
+#include <string>
+#include <vector>
+
+namespace astclk::eval {
+
+/// Pairwise inter-group skews derived from an evaluation.
+class skew_matrix {
+  public:
+    /// Build from per-group delay envelopes of an eval_result.  Groups with
+    /// zero intra-group spread have a well-defined offset; for bounded
+    /// groups the representative is the envelope midpoint.
+    skew_matrix(const eval_result& ev, topo::group_id num_groups);
+
+    [[nodiscard]] topo::group_id groups() const {
+        return static_cast<topo::group_id>(rep_.size());
+    }
+
+    /// Representative (midpoint) source-to-sink delay of group g, seconds.
+    [[nodiscard]] double representative(topo::group_id g) const {
+        return rep_[static_cast<std::size_t>(g)];
+    }
+
+    /// S_ij = representative(i) - representative(j), seconds.
+    [[nodiscard]] double offset(topo::group_id i, topo::group_id j) const {
+        return rep_[static_cast<std::size_t>(i)] -
+               rep_[static_cast<std::size_t>(j)];
+    }
+
+    /// Largest |S_ij| over all pairs — the inter-group skew span.
+    [[nodiscard]] double max_abs_offset() const;
+
+    /// The pair realising max_abs_offset() (i earlier-delay group).
+    [[nodiscard]] std::pair<topo::group_id, topo::group_id> extreme_pair()
+        const;
+
+  private:
+    std::vector<double> rep_;
+};
+
+/// Multi-line plain-text summary of a route evaluation: wirelength, global
+/// and intra-group skews, and the inter-group offset matrix (in ps).
+[[nodiscard]] std::string format_report(const eval_result& ev,
+                                        const topo::instance& inst);
+
+}  // namespace astclk::eval

@@ -1,0 +1,69 @@
+#include "gen/grouping.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace astclk::gen {
+
+namespace {
+
+/// Most balanced cols x rows factorisation with cols * rows == k.
+std::pair<int, int> balanced_grid(int k) {
+    int best_c = k, best_r = 1;
+    for (int c = 1; c * c <= k; ++c) {
+        if (k % c == 0) {
+            best_r = c;
+            best_c = k / c;
+        }
+    }
+    return {best_c, best_r};
+}
+
+}  // namespace
+
+void apply_clustered_groups(topo::instance& inst, int k) {
+    assert(k >= 1);
+    const auto [cols, rows] = balanced_grid(k);
+    const double bw = inst.die_width / cols;
+    const double bh = inst.die_height / rows;
+    std::vector<int> box_of(inst.sinks.size());
+    for (std::size_t i = 0; i < inst.sinks.size(); ++i) {
+        const auto& s = inst.sinks[i];
+        int cx = static_cast<int>(s.loc.x / bw);
+        int cy = static_cast<int>(s.loc.y / bh);
+        cx = std::clamp(cx, 0, cols - 1);
+        cy = std::clamp(cy, 0, rows - 1);
+        box_of[i] = cy * cols + cx;
+    }
+    // Compact away empty boxes so group ids are dense.
+    std::vector<int> remap(static_cast<std::size_t>(k), -1);
+    int next = 0;
+    for (std::size_t i = 0; i < inst.sinks.size(); ++i) {
+        auto& slot = remap[static_cast<std::size_t>(box_of[i])];
+        if (slot < 0) slot = next++;
+        inst.sinks[i].group = slot;
+    }
+    inst.num_groups = next;
+}
+
+void apply_intermingled_groups(topo::instance& inst, int k,
+                               std::uint64_t seed) {
+    assert(k >= 1);
+    assert(inst.sinks.size() >= static_cast<std::size_t>(k));
+    rng r(seed);
+    // One guaranteed member per group, drawn without replacement.
+    std::vector<std::size_t> order(inst.sinks.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (std::size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[r.below(i)]);
+    for (int g = 0; g < k; ++g)
+        inst.sinks[order[static_cast<std::size_t>(g)]].group = g;
+    for (std::size_t i = static_cast<std::size_t>(k); i < order.size(); ++i)
+        inst.sinks[order[i]].group = static_cast<topo::group_id>(
+            r.below(static_cast<std::uint64_t>(k)));
+    inst.num_groups = k;
+}
+
+}  // namespace astclk::gen

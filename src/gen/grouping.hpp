@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file grouping.hpp
+/// Sink-group partitioners for the two experimental regimes of Ch. VI.
+///
+/// * **Clustered** (Table I): the die is divided into k rectangular boxes;
+///   sinks in the same box share a group.  Groups are geometrically
+///   separated, so cross-group merges are rare and the AST advantage is
+///   modest — exactly the paper's expectation.
+/// * **Intermingled** (Table II): sinks are assigned to k groups uniformly
+///   at random, maximally interleaving the groups — the "difficult
+///   instances" of the title, where separate construction wastes wire and
+///   AST-DME shines.
+
+#include "gen/rng.hpp"
+#include "topo/instance.hpp"
+
+namespace astclk::gen {
+
+/// Divide the die into a grid of `k` boxes (columns x rows chosen as the
+/// most balanced factorisation, e.g. 4 -> 2x2, 6 -> 3x2, 10 -> 5x2) and
+/// group sinks by containing box.  Empty boxes are compacted away so every
+/// group id in [0, num_groups) is populated.
+void apply_clustered_groups(topo::instance& inst, int k);
+
+/// Assign each sink independently and uniformly to one of `k` groups
+/// (deterministic under `seed`); guarantees every group non-empty by
+/// seeding one sink per group first.
+void apply_intermingled_groups(topo::instance& inst, int k,
+                               std::uint64_t seed);
+
+}  // namespace astclk::gen

@@ -1,0 +1,65 @@
+#include "gen/instance_gen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace astclk::gen {
+
+std::array<instance_spec, 5> paper_suite() {
+    std::array<instance_spec, 5> s;
+    s[0] = {"r1", 267, 100000.0, 5e-15, 50e-15, 0.5, 6, 9000.0, 11};
+    s[1] = {"r2", 598, 100000.0, 5e-15, 50e-15, 0.5, 9, 9000.0, 12};
+    s[2] = {"r3", 862, 100000.0, 5e-15, 50e-15, 0.5, 11, 8500.0, 13};
+    s[3] = {"r4", 1903, 100000.0, 5e-15, 50e-15, 0.5, 16, 8000.0, 14};
+    s[4] = {"r5", 3101, 100000.0, 5e-15, 50e-15, 0.5, 20, 7500.0, 15};
+    return s;
+}
+
+instance_spec paper_spec(const std::string& name) {
+    for (const auto& s : paper_suite())
+        if (s.name == name) return s;
+    throw std::invalid_argument("unknown paper benchmark: " + name);
+}
+
+topo::instance generate(const instance_spec& spec) {
+    topo::instance inst;
+    inst.name = spec.name;
+    inst.die_width = spec.die;
+    inst.die_height = spec.die;
+    inst.source = {0.5 * spec.die, 0.5 * spec.die};
+    inst.num_groups = 1;
+    inst.sinks.reserve(static_cast<std::size_t>(spec.num_sinks));
+
+    rng r(spec.seed);
+    // Cluster centres, kept away from the die edge by one radius.
+    std::vector<geom::point> centres;
+    centres.reserve(static_cast<std::size_t>(spec.num_clusters));
+    const double margin = std::min(spec.cluster_radius, 0.25 * spec.die);
+    for (int c = 0; c < spec.num_clusters; ++c) {
+        centres.push_back({r.uniform(margin, spec.die - margin),
+                           r.uniform(margin, spec.die - margin)});
+    }
+
+    const int clustered = static_cast<int>(
+        spec.cluster_fraction * static_cast<double>(spec.num_sinks));
+    for (int i = 0; i < spec.num_sinks; ++i) {
+        geom::point loc;
+        if (i < clustered && !centres.empty()) {
+            const auto& c = centres[r.below(centres.size())];
+            loc = {c.x + r.uniform(-spec.cluster_radius, spec.cluster_radius),
+                   c.y + r.uniform(-spec.cluster_radius, spec.cluster_radius)};
+            loc.x = std::clamp(loc.x, 0.0, spec.die);
+            loc.y = std::clamp(loc.y, 0.0, spec.die);
+        } else {
+            loc = {r.uniform(0.0, spec.die), r.uniform(0.0, spec.die)};
+        }
+        topo::sink s;
+        s.loc = loc;
+        s.cap = r.uniform(spec.cap_min, spec.cap_max);
+        s.group = 0;
+        inst.sinks.push_back(s);
+    }
+    return inst;
+}
+
+}  // namespace astclk::gen

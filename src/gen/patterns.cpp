@@ -1,0 +1,77 @@
+#include "gen/patterns.hpp"
+
+#include <cmath>
+
+namespace astclk::gen {
+
+topo::instance alternating_comb(int teeth, int k, double pitch,
+                                double sink_cap) {
+    topo::instance inst;
+    inst.name = "comb" + std::to_string(teeth) + "x" + std::to_string(k);
+    inst.num_groups = k;
+    inst.die_width = pitch * teeth;
+    inst.die_height = 2.0 * pitch;
+    inst.source = {inst.die_width / 2, pitch};
+    for (int i = 0; i < teeth; ++i)
+        inst.sinks.push_back({{pitch * i + 1.0, pitch},
+                              sink_cap,
+                              static_cast<topo::group_id>(i % k)});
+    return inst;
+}
+
+topo::instance two_clusters(int per_cluster, double die, double radius,
+                            double sink_cap) {
+    topo::instance inst;
+    inst.name = "two_clusters";
+    inst.num_groups = 2;
+    inst.die_width = inst.die_height = die;
+    inst.source = {die / 2, die / 2};
+    const geom::point c0{radius * 2, radius * 2};
+    const geom::point c1{die - radius * 2, die - radius * 2};
+    for (int i = 0; i < per_cluster; ++i) {
+        // Deterministic spiral placement inside each cluster.
+        const double a = 0.61803398875 * 2 * 3.14159265358979 * i;
+        const double rr = radius * std::sqrt((i + 0.5) / per_cluster);
+        inst.sinks.push_back(
+            {{c0.x + rr * std::cos(a), c0.y + rr * std::sin(a)}, sink_cap, 0});
+        inst.sinks.push_back(
+            {{c1.x + rr * std::cos(a), c1.y + rr * std::sin(a)}, sink_cap, 1});
+    }
+    // Stragglers: one sink of each group deep inside the other's cluster.
+    inst.sinks.push_back({{c1.x - radius, c1.y}, sink_cap, 0});
+    inst.sinks.push_back({{c0.x + radius, c0.y}, sink_cap, 1});
+    return inst;
+}
+
+topo::instance ring(int n, int k, double r, double sink_cap) {
+    topo::instance inst;
+    inst.name = "ring" + std::to_string(n);
+    inst.num_groups = k;
+    inst.die_width = inst.die_height = 2.2 * r;
+    inst.source = {1.1 * r, 1.1 * r};
+    for (int i = 0; i < n; ++i) {
+        const double a = 2 * 3.14159265358979 * i / n;
+        inst.sinks.push_back({{1.1 * r + r * std::cos(a),
+                               1.1 * r + r * std::sin(a)},
+                              sink_cap,
+                              static_cast<topo::group_id>(i % k)});
+    }
+    return inst;
+}
+
+topo::instance depth_ramp(int chain, double span, double offset,
+                          double sink_cap) {
+    topo::instance inst;
+    inst.name = "depth_ramp";
+    inst.num_groups = 1;
+    inst.die_width = span + offset + 10.0;
+    inst.die_height = 20.0;
+    inst.source = {0.0, 10.0};
+    for (int i = 0; i < chain; ++i)
+        inst.sinks.push_back(
+            {{span * i / std::max(1, chain - 1), 10.0}, sink_cap, 0});
+    inst.sinks.push_back({{span + offset, 10.0}, sink_cap, 0});
+    return inst;
+}
+
+}  // namespace astclk::gen

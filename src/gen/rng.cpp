@@ -1,0 +1,5 @@
+#include "gen/rng.hpp"
+
+// rng is header-only; this translation unit anchors the library.
+
+namespace astclk::gen {}

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic random number generation for benchmark synthesis.
+///
+/// A self-contained xoshiro256** implementation (seeded via splitmix64) so
+/// instances are bit-reproducible across platforms and standard-library
+/// versions — std::mt19937 distributions are not portable across vendors.
+
+#include <cstdint>
+
+namespace astclk::gen {
+
+class rng {
+  public:
+    explicit rng(std::uint64_t seed) {
+        // splitmix64 seeding, the reference recommendation for xoshiro.
+        std::uint64_t x = seed;
+        for (auto& s : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            s = z ^ (z >> 31);
+        }
+    }
+
+    /// Next raw 64-bit value (xoshiro256**).
+    std::uint64_t next_u64() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+    /// Uniform integer in [0, n).
+    std::uint64_t below(std::uint64_t n) {
+        // Multiply-shift rejection-free mapping (slight modulo bias is
+        // irrelevant for benchmark synthesis but we keep it tiny: 2^-64).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+    }
+
+  private:
+    static std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+    std::uint64_t state_[4];
+};
+
+}  // namespace astclk::gen

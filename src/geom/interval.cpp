@@ -1,0 +1,12 @@
+#include "geom/interval.hpp"
+
+#include <ostream>
+
+namespace astclk::geom {
+
+std::ostream& operator<<(std::ostream& os, const interval& iv) {
+    if (iv.empty()) return os << "[empty]";
+    return os << '[' << iv.lo << ", " << iv.hi << ']';
+}
+
+}  // namespace astclk::geom

@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file interval.hpp
+/// Closed 1-D intervals with tolerant predicates.
+///
+/// Intervals are the scalar backbone of the whole geometry layer: tilted
+/// rectangles are a pair of intervals, octagons are four, and the merge
+/// solver manipulates per-group delay windows as intervals.
+
+#include <algorithm>
+#include <cmath>
+#include <iosfwd>
+#include <limits>
+
+namespace astclk::geom {
+
+/// Absolute slack used by the tolerant interval predicates.  Geometry in
+/// this library lives on a ~1e5-unit die, so 1e-7 is ~12 digits below the
+/// coordinate scale while still absorbing accumulated rounding.
+inline constexpr double kGeomEps = 1e-7;
+
+/// A closed interval [lo, hi].  An interval with lo > hi is *empty*; the
+/// canonical empty interval is interval::empty().
+struct interval {
+    double lo = 0.0;
+    double hi = 0.0;
+
+    constexpr interval() = default;
+    constexpr interval(double l, double h) : lo(l), hi(h) {}
+
+    /// Degenerate interval holding a single value.
+    static constexpr interval at(double v) { return {v, v}; }
+
+    /// The canonical empty interval ([+inf, -inf]).
+    static constexpr interval empty_set() {
+        return {std::numeric_limits<double>::infinity(),
+                -std::numeric_limits<double>::infinity()};
+    }
+
+    /// The whole real line.
+    static constexpr interval all() {
+        return {-std::numeric_limits<double>::infinity(),
+                std::numeric_limits<double>::infinity()};
+    }
+
+    /// True when the interval contains no point (with tolerance eps:
+    /// intervals shorter than -eps are empty, i.e. slightly inverted
+    /// intervals caused by rounding still count as a point).
+    [[nodiscard]] bool empty(double eps = 0.0) const { return lo > hi + eps; }
+
+    /// Length (0 for degenerate, negative only if empty).
+    [[nodiscard]] double length() const { return hi - lo; }
+
+    /// Midpoint; undefined for empty intervals.
+    [[nodiscard]] double mid() const { return 0.5 * (lo + hi); }
+
+    /// True when v lies inside, with tolerance.
+    [[nodiscard]] bool contains(double v, double eps = kGeomEps) const {
+        return v >= lo - eps && v <= hi + eps;
+    }
+
+    /// True when other is fully inside this interval, with tolerance.
+    [[nodiscard]] bool contains(const interval& o, double eps = kGeomEps) const {
+        return o.lo >= lo - eps && o.hi <= hi + eps;
+    }
+
+    /// Clamp v into the interval (undefined for empty intervals).
+    [[nodiscard]] double clamp(double v) const {
+        return std::min(std::max(v, lo), hi);
+    }
+
+    /// Distance from v to the interval (0 when inside).
+    [[nodiscard]] double distance(double v) const {
+        if (v < lo) return lo - v;
+        if (v > hi) return v - hi;
+        return 0.0;
+    }
+
+    /// Signed gap between two intervals: 0 when they overlap, otherwise the
+    /// positive distance between the nearest endpoints.
+    [[nodiscard]] double gap(const interval& o) const {
+        if (o.lo > hi) return o.lo - hi;
+        if (lo > o.hi) return lo - o.hi;
+        return 0.0;
+    }
+
+    /// Enlarge by r on both sides (Minkowski sum with [-r, r]).
+    [[nodiscard]] interval expanded(double r) const { return {lo - r, hi + r}; }
+
+    /// Intersection (may be empty).
+    [[nodiscard]] interval intersect(const interval& o) const {
+        return {std::max(lo, o.lo), std::min(hi, o.hi)};
+    }
+
+    /// Smallest interval containing both (convex hull).
+    [[nodiscard]] interval hull(const interval& o) const {
+        return {std::min(lo, o.lo), std::max(hi, o.hi)};
+    }
+
+    /// Translate by d.
+    [[nodiscard]] interval shifted(double d) const { return {lo + d, hi + d}; }
+
+    /// Equality within eps on both endpoints.
+    [[nodiscard]] bool almost_equal(const interval& o, double eps = kGeomEps) const {
+        return std::fabs(lo - o.lo) <= eps && std::fabs(hi - o.hi) <= eps;
+    }
+
+    friend bool operator==(const interval&, const interval&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const interval& iv);
+
+/// True when |a - b| <= eps.
+inline bool almost_equal(double a, double b, double eps = kGeomEps) {
+    return std::fabs(a - b) <= eps;
+}
+
+}  // namespace astclk::geom

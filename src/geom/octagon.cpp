@@ -1,0 +1,244 @@
+#include "geom/octagon.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+namespace astclk::geom {
+
+namespace {
+
+// Interval sum/difference hulls; written to avoid inf - inf NaNs for the
+// unbounded slabs that appear before canonicalisation.
+interval iv_add(const interval& a, const interval& b) {
+    return {a.lo + b.lo, a.hi + b.hi};
+}
+interval iv_sub(const interval& a, const interval& b) {
+    return {a.lo - b.hi, a.hi - b.lo};
+}
+interval iv_half(const interval& a) { return {0.5 * a.lo, 0.5 * a.hi}; }
+
+}  // namespace
+
+octagon::octagon(interval x, interval y, interval u, interval v)
+    : x_(x), y_(y), u_(u), v_(v), empty_(false) {
+    canonicalize();
+}
+
+octagon octagon::at(const point& p) {
+    return {interval::at(p.x), interval::at(p.y),
+            interval::at(p.x + p.y), interval::at(p.x - p.y)};
+}
+
+octagon octagon::rect(interval x, interval y) {
+    return {x, y, interval::all(), interval::all()};
+}
+
+octagon octagon::from_tilted(const tilted_rect& r) {
+    if (r.empty()) return {};
+    return {interval::all(), interval::all(), r.u(), r.v()};
+}
+
+void octagon::canonicalize() {
+    if (x_.empty() || y_.empty() || u_.empty() || v_.empty()) {
+        empty_ = true;
+        return;
+    }
+    // Closure of the two-variable octagon constraint system.  Each slab is
+    // tightened against every pair of others it is linearly related to
+    // (x = u - y = y + v = (u + v)/2, and symmetrically); two passes reach
+    // the fixpoint for a 2-D system, a third is kept as a cheap safety net.
+    for (int pass = 0; pass < 3; ++pass) {
+        u_ = u_.intersect(iv_add(x_, y_));
+        v_ = v_.intersect(iv_sub(x_, y_));
+        x_ = x_.intersect(iv_half(iv_add(u_, v_)));
+        x_ = x_.intersect(iv_sub(u_, y_));
+        x_ = x_.intersect(iv_add(y_, v_));
+        y_ = y_.intersect(iv_half(iv_sub(u_, v_)));
+        y_ = y_.intersect(iv_sub(u_, x_));
+        y_ = y_.intersect(iv_sub(x_, v_));
+        if (x_.empty(kGeomEps) || y_.empty(kGeomEps) || u_.empty(kGeomEps) ||
+            v_.empty(kGeomEps)) {
+            empty_ = true;
+            return;
+        }
+    }
+    empty_ = false;
+}
+
+bool octagon::contains(const point& p, double eps) const {
+    if (empty_) return false;
+    return x_.contains(p.x, eps) && y_.contains(p.y, eps) &&
+           u_.contains(p.x + p.y, eps) && v_.contains(p.x - p.y, eps);
+}
+
+octagon octagon::intersect(const octagon& o) const {
+    if (empty_ || o.empty_) return {};
+    return {x_.intersect(o.x_), y_.intersect(o.y_), u_.intersect(o.u_),
+            v_.intersect(o.v_)};
+}
+
+octagon octagon::expanded(double r) const {
+    if (empty_) return {};
+    assert(r >= 0.0);
+    return {x_.expanded(r), y_.expanded(r), u_.expanded(r), v_.expanded(r)};
+}
+
+double octagon::distance(const point& p) const {
+    if (empty_) return std::numeric_limits<double>::infinity();
+    double d = 0.0;
+    d = std::max(d, x_.distance(p.x));
+    d = std::max(d, y_.distance(p.y));
+    d = std::max(d, u_.distance(p.x + p.y));
+    d = std::max(d, v_.distance(p.x - p.y));
+    return d;
+}
+
+double octagon::distance(const octagon& o) const {
+    if (empty_ || o.empty_) return std::numeric_limits<double>::infinity();
+    if (!intersect(o).empty()) return 0.0;
+    // Upper bound from any pair of feasible points.
+    const point a = *feasible_point();
+    const point b = *o.feasible_point();
+    double hi = manhattan(a, b);
+    double lo = 0.0;
+    const double tol = std::max(1.0, hi) * 1e-12;
+    while (hi - lo > tol) {
+        const double mid = 0.5 * (lo + hi);
+        if (expanded(mid).intersect(o).empty())
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+std::optional<point> octagon::feasible_point() const {
+    if (empty_) return std::nullopt;
+    const double x = x_.mid();
+    interval yr = y_;
+    yr = yr.intersect({u_.lo - x, u_.hi - x});
+    yr = yr.intersect({x - v_.hi, x - v_.lo});
+    if (yr.empty(kGeomEps)) return std::nullopt;  // canonicity violated
+    return point{x, yr.empty() ? yr.lo : yr.mid()};
+}
+
+std::optional<point> octagon::nearest(const point& p) const {
+    if (empty_) return std::nullopt;
+    if (contains(p, 0.0)) return p;
+    double r = distance(p);
+    // Intersect with the L1 ball around p; a tiny slack guards rounding.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        const double slack = kGeomEps * (1 << attempt);
+        const octagon ball = octagon::at(p).expanded(r + slack);
+        const octagon cut = intersect(ball);
+        if (auto q = cut.feasible_point()) return q;
+    }
+    return feasible_point();  // conservative fallback; callers assert distance
+}
+
+std::vector<point> octagon::vertices() const {
+    std::vector<point> poly;
+    if (empty_) return poly;
+    // Start from the bounding rectangle, counter-clockwise.
+    poly = {point{x_.lo, y_.lo}, point{x_.hi, y_.lo}, point{x_.hi, y_.hi},
+            point{x_.lo, y_.hi}};
+    struct halfplane {
+        double a, b, c;  // a*x + b*y <= c
+    };
+    const halfplane cuts[4] = {
+        {1.0, 1.0, u_.hi},
+        {-1.0, -1.0, -u_.lo},
+        {1.0, -1.0, v_.hi},
+        {-1.0, 1.0, -v_.lo},
+    };
+    for (const auto& h : cuts) {
+        std::vector<point> next;
+        const std::size_t n = poly.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            const point& cur = poly[i];
+            const point& nxt = poly[(i + 1) % n];
+            const double dc = h.a * cur.x + h.b * cur.y - h.c;
+            const double dn = h.a * nxt.x + h.b * nxt.y - h.c;
+            const bool cin = dc <= kGeomEps;
+            const bool nin = dn <= kGeomEps;
+            if (cin) next.push_back(cur);
+            if (cin != nin) {
+                const double t = dc / (dc - dn);
+                next.push_back({cur.x + t * (nxt.x - cur.x),
+                                cur.y + t * (nxt.y - cur.y)});
+            }
+        }
+        poly.swap(next);
+        if (poly.empty()) return poly;
+    }
+    // Deduplicate consecutive near-identical vertices.
+    std::vector<point> out;
+    for (const auto& p : poly) {
+        if (out.empty() || manhattan(out.back(), p) > 10 * kGeomEps)
+            out.push_back(p);
+    }
+    while (out.size() > 1 && manhattan(out.front(), out.back()) <= 10 * kGeomEps)
+        out.pop_back();
+    return out;
+}
+
+double octagon::area() const {
+    const auto poly = vertices();
+    if (poly.size() < 3) return 0.0;
+    double s = 0.0;
+    for (std::size_t i = 0; i < poly.size(); ++i) {
+        const point& a = poly[i];
+        const point& b = poly[(i + 1) % poly.size()];
+        s += a.x * b.y - b.x * a.y;
+    }
+    return 0.5 * std::fabs(s);
+}
+
+bool octagon::almost_equal(const octagon& o, double eps) const {
+    if (empty_ != o.empty_) return false;
+    if (empty_) return true;
+    return x_.almost_equal(o.x_, eps) && y_.almost_equal(o.y_, eps) &&
+           u_.almost_equal(o.u_, eps) && v_.almost_equal(o.v_, eps);
+}
+
+octagon shortest_distance_region(const tilted_rect& a, const tilted_rect& b) {
+    if (a.empty() || b.empty()) return octagon::empty_set();
+    const double d = a.distance(b);
+
+    // Candidate split values: endpoints plus every breakpoint of the
+    // piecewise-linear support functions of M(alpha) = a^alpha ∩ b^(d-alpha).
+    std::vector<double> cand = {0.0, d};
+    const auto push_bp = [&](double bp) {
+        if (bp > 0.0 && bp < d) cand.push_back(bp);
+    };
+    push_bp(0.5 * (b.u().hi + d - a.u().hi));   // sup_u crossover
+    push_bp(0.5 * (a.u().lo - b.u().lo + d));   // inf_u crossover
+    push_bp(0.5 * (b.v().hi + d - a.v().hi));   // sup_v crossover
+    push_bp(0.5 * (a.v().lo - b.v().lo + d));   // inf_v crossover
+
+    interval ux = interval::empty_set();  // x+y support (tilted u)
+    interval vx = interval::empty_set();  // x-y support (tilted v)
+    interval xx = interval::empty_set();
+    interval yx = interval::empty_set();
+    for (double alpha : cand) {
+        const double beta = d - alpha;
+        const interval mu{std::max(a.u().lo - alpha, b.u().lo - beta),
+                          std::min(a.u().hi + alpha, b.u().hi + beta)};
+        const interval mv{std::max(a.v().lo - alpha, b.v().lo - beta),
+                          std::min(a.v().hi + alpha, b.v().hi + beta)};
+        ux = ux.hull(mu);
+        vx = vx.hull(mv);
+        xx = xx.hull({0.5 * (mu.lo + mv.lo), 0.5 * (mu.hi + mv.hi)});
+        yx = yx.hull({0.5 * (mu.lo - mv.hi), 0.5 * (mu.hi - mv.lo)});
+    }
+    return {xx, yx, ux, vx};
+}
+
+std::ostream& operator<<(std::ostream& os, const octagon& o) {
+    if (o.empty()) return os << "{empty}";
+    return os << "{x=" << o.x() << ", y=" << o.y() << ", u=" << o.u()
+              << ", v=" << o.v() << '}';
+}
+
+}  // namespace astclk::geom

@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file octagon.hpp
+/// Octilinear convex regions: intersections of the four slab families
+///     x in X,   y in Y,   x + y in U,   x - y in V.
+///
+/// Every region appearing in DME / BST clock routing — merging segments,
+/// TRRs, bounded-skew merging regions, shortest-distance regions (SDRs) —
+/// is a convex polygon whose edges have slopes in {0, inf, +1, -1}; this
+/// class is the closed algebra of exactly those polygons (at most 8 sides).
+///
+/// The representation is kept *canonical* (each interval equals the true
+/// support of the region in its direction) by a closure pass, which makes
+/// emptiness, intersection and Minkowski expansion exact.
+///
+/// This is the geometry used to reproduce the paper's merging-region
+/// figures (Figs. 3-5) and to cross-check the tilted_rect fast path.
+
+#include "geom/interval.hpp"
+#include "geom/point.hpp"
+#include "geom/tilted_rect.hpp"
+
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+namespace astclk::geom {
+
+class octagon {
+  public:
+    /// Empty region.
+    octagon() = default;
+
+    /// Region from the four slabs; canonicalised on construction.
+    octagon(interval x, interval y, interval u, interval v);
+
+    /// Single real-plane point.
+    static octagon at(const point& p);
+
+    /// Axis-aligned rectangle [x] x [y].
+    static octagon rect(interval x, interval y);
+
+    /// From a tilted rectangle (Manhattan arc / TRR); x and y slabs are
+    /// derived by the closure.
+    static octagon from_tilted(const tilted_rect& r);
+
+    static octagon empty_set() { return {}; }
+
+    [[nodiscard]] const interval& x() const { return x_; }
+    [[nodiscard]] const interval& y() const { return y_; }
+    [[nodiscard]] const interval& u() const { return u_; }
+    [[nodiscard]] const interval& v() const { return v_; }
+
+    [[nodiscard]] bool empty() const { return empty_; }
+
+    [[nodiscard]] bool contains(const point& p, double eps = kGeomEps) const;
+
+    /// Intersection (canonical).
+    [[nodiscard]] octagon intersect(const octagon& o) const;
+
+    /// Minkowski sum with the L1 ball of radius r >= 0 (support addition —
+    /// exact on canonical octagons).
+    [[nodiscard]] octagon expanded(double r) const;
+
+    /// Exact L1 distance from a point (0 when inside).  Computed as the
+    /// largest slab violation, which is exact for canonical octagons; the
+    /// property tests cross-check against brute force.
+    [[nodiscard]] double distance(const point& p) const;
+
+    /// L1 distance between two octagons, via bisection on the smallest
+    /// expansion radius that makes them intersect (exact operations make
+    /// this robust; tolerance ~1e-9 of the scale).
+    [[nodiscard]] double distance(const octagon& o) const;
+
+    /// Some point inside the region (the canonical mid slice); nullopt when
+    /// empty.
+    [[nodiscard]] std::optional<point> feasible_point() const;
+
+    /// Nearest point of the region to p (exact up to kGeomEps).
+    [[nodiscard]] std::optional<point> nearest(const point& p) const;
+
+    /// Boundary polygon in counter-clockwise order (deduplicated vertices;
+    /// 1 vertex for a point region, 2 for a segment).  Used by the SVG
+    /// exporter, the figure demos and the property tests.
+    [[nodiscard]] std::vector<point> vertices() const;
+
+    /// Area of the region (0 for degenerate regions).
+    [[nodiscard]] double area() const;
+
+    [[nodiscard]] bool almost_equal(const octagon& o, double eps = kGeomEps) const;
+
+  private:
+    void canonicalize();
+
+    interval x_ = interval::empty_set();
+    interval y_ = interval::empty_set();
+    interval u_ = interval::empty_set();
+    interval v_ = interval::empty_set();
+    bool empty_ = true;
+};
+
+/// The shortest-distance region between two tilted rectangles: all points p
+/// with d(p, a) + d(p, b) == d(a, b).  This is the merging region the paper
+/// uses when two subtrees carry *disjoint* sink groups (Fig. 3): any point
+/// of it joins the subtrees with the minimum possible wirelength.
+///
+/// Computed exactly as the support hull of the union of the iso-split
+/// merging segments  a.expanded(alpha) ∩ b.expanded(d - alpha),
+/// alpha in [0, d]; the union is convex and octilinear.
+octagon shortest_distance_region(const tilted_rect& a, const tilted_rect& b);
+
+std::ostream& operator<<(std::ostream& os, const octagon& o);
+
+}  // namespace astclk::geom

@@ -1,0 +1,15 @@
+#include "geom/point.hpp"
+
+#include <ostream>
+
+namespace astclk::geom {
+
+std::ostream& operator<<(std::ostream& os, const point& p) {
+    return os << '(' << p.x << ", " << p.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const tilted_point& p) {
+    return os << "(u=" << p.u << ", v=" << p.v << ')';
+}
+
+}  // namespace astclk::geom

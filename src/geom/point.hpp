@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file point.hpp
+/// Points in the Manhattan plane and in *tilted* coordinates.
+///
+/// The whole DME family of algorithms becomes interval arithmetic after the
+/// 45-degree change of basis
+///     u = x + y,   v = x - y,
+/// because the L1 (Manhattan) metric on (x, y) equals the L-infinity metric
+/// on (u, v):  |dx| + |dy| = max(|du|, |dv|).  Manhattan arcs (slope +-1
+/// segments — DME merging segments) become axis-aligned segments, and tilted
+/// rectangular regions (TRRs) become axis-aligned rectangles.
+
+#include <cmath>
+#include <iosfwd>
+
+namespace astclk::geom {
+
+struct tilted_point;
+
+/// A point in the ordinary (x, y) Manhattan plane.
+struct point {
+    double x = 0.0;
+    double y = 0.0;
+
+    constexpr point() = default;
+    constexpr point(double px, double py) : x(px), y(py) {}
+
+    /// Convert to tilted coordinates (u, v) = (x + y, x - y).
+    [[nodiscard]] tilted_point to_tilted() const;
+
+    friend bool operator==(const point&, const point&) = default;
+};
+
+/// A point in tilted coordinates.
+struct tilted_point {
+    double u = 0.0;
+    double v = 0.0;
+
+    constexpr tilted_point() = default;
+    constexpr tilted_point(double pu, double pv) : u(pu), v(pv) {}
+
+    /// Convert back to (x, y) = ((u + v) / 2, (u - v) / 2).
+    [[nodiscard]] point to_real() const { return {0.5 * (u + v), 0.5 * (u - v)}; }
+
+    friend bool operator==(const tilted_point&, const tilted_point&) = default;
+};
+
+inline tilted_point point::to_tilted() const { return {x + y, x - y}; }
+
+/// Manhattan (L1) distance between two real-plane points.
+inline double manhattan(const point& a, const point& b) {
+    return std::fabs(a.x - b.x) + std::fabs(a.y - b.y);
+}
+
+/// Chebyshev (L-infinity) distance between two tilted points; equals the
+/// Manhattan distance between the corresponding real points.
+inline double chebyshev(const tilted_point& a, const tilted_point& b) {
+    return std::max(std::fabs(a.u - b.u), std::fabs(a.v - b.v));
+}
+
+std::ostream& operator<<(std::ostream& os, const point& p);
+std::ostream& operator<<(std::ostream& os, const tilted_point& p);
+
+}  // namespace astclk::geom

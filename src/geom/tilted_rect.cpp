@@ -1,0 +1,37 @@
+#include "geom/tilted_rect.hpp"
+
+#include <ostream>
+
+namespace astclk::geom {
+
+std::array<point, 4> tilted_rect::real_corners() const {
+    auto c = corners();
+    return {c[0].to_real(), c[1].to_real(), c[2].to_real(), c[3].to_real()};
+}
+
+std::vector<tilted_point> tilted_rect::sample_grid(int n) const {
+    std::vector<tilted_point> out;
+    if (empty() || n <= 0) return out;
+    out.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        const double fu = (n == 1) ? 0.5 : static_cast<double>(i) / (n - 1);
+        const double pu = u_.lo + fu * u_.length();
+        for (int j = 0; j < n; ++j) {
+            const double fv = (n == 1) ? 0.5 : static_cast<double>(j) / (n - 1);
+            out.push_back({pu, v_.lo + fv * v_.length()});
+        }
+    }
+    return out;
+}
+
+tilted_rect merging_segment(const tilted_rect& a, const tilted_rect& b,
+                            double alpha, double beta) {
+    if (alpha < 0.0 || beta < 0.0) return tilted_rect::empty_set();
+    return a.expanded(alpha).intersect(b.expanded(beta));
+}
+
+std::ostream& operator<<(std::ostream& os, const tilted_rect& r) {
+    return os << "{u=" << r.u() << ", v=" << r.v() << '}';
+}
+
+}  // namespace astclk::geom

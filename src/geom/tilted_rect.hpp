@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file tilted_rect.hpp
+/// Axis-aligned rectangles in tilted (u, v) space — the geometry kernel of
+/// every DME-style operation in this library.
+///
+/// In real (x, y) space a tilted_rect is a rectangle rotated by 45 degrees:
+///  * a degenerate rect (both intervals points) is a single point;
+///  * a rect degenerate in exactly one axis is a **Manhattan arc** — a
+///    slope +-1 segment, i.e. a DME merging segment;
+///  * `expanded(r)` is the Minkowski sum with the L1 ball of radius r,
+///    i.e. the classic **tilted rectangular region** TRR(core, radius).
+///
+/// Key invariant used throughout the merge engine: if
+/// `d = distance(A, B)` and `alpha + beta = d`, then every point of
+/// `A.expanded(alpha) ∩ B.expanded(beta)` is at distance *exactly* alpha
+/// from A and beta from B (triangle inequality in both directions), so the
+/// intersection is an iso-distance locus — the merging segment.
+
+#include "geom/interval.hpp"
+#include "geom/point.hpp"
+
+#include <array>
+#include <iosfwd>
+#include <vector>
+
+namespace astclk::geom {
+
+class tilted_rect {
+  public:
+    tilted_rect() = default;
+    tilted_rect(interval u, interval v) : u_(u), v_(v) {}
+
+    /// Rect holding a single tilted point.
+    static tilted_rect at(const tilted_point& p) {
+        return {interval::at(p.u), interval::at(p.v)};
+    }
+
+    /// Rect holding a single real-plane point.
+    static tilted_rect at(const point& p) { return at(p.to_tilted()); }
+
+    /// Canonical empty rect.
+    static tilted_rect empty_set() {
+        return {interval::empty_set(), interval::empty_set()};
+    }
+
+    [[nodiscard]] const interval& u() const { return u_; }
+    [[nodiscard]] const interval& v() const { return v_; }
+
+    [[nodiscard]] bool empty(double eps = 0.0) const {
+        return u_.empty(eps) || v_.empty(eps);
+    }
+
+    /// True when the rect is a single point (up to eps).
+    [[nodiscard]] bool is_point(double eps = kGeomEps) const {
+        return !empty() && u_.length() <= eps && v_.length() <= eps;
+    }
+
+    /// True when the rect is degenerate in at least one tilted axis, i.e.
+    /// represents a Manhattan arc (slope +-1 segment) or a point in real
+    /// space.  All merging segments produced by the engine satisfy this.
+    [[nodiscard]] bool is_manhattan_arc(double eps = kGeomEps) const {
+        return !empty() && (u_.length() <= eps || v_.length() <= eps);
+    }
+
+    /// Center of the rect as a tilted point.
+    [[nodiscard]] tilted_point center() const { return {u_.mid(), v_.mid()}; }
+
+    [[nodiscard]] bool contains(const tilted_point& p, double eps = kGeomEps) const {
+        return u_.contains(p.u, eps) && v_.contains(p.v, eps);
+    }
+
+    [[nodiscard]] bool contains(const tilted_rect& o, double eps = kGeomEps) const {
+        return u_.contains(o.u_, eps) && v_.contains(o.v_, eps);
+    }
+
+    /// Minkowski sum with the L1 ball of radius r >= 0: the TRR.
+    [[nodiscard]] tilted_rect expanded(double r) const {
+        return {u_.expanded(r), v_.expanded(r)};
+    }
+
+    [[nodiscard]] tilted_rect intersect(const tilted_rect& o) const {
+        return {u_.intersect(o.u_), v_.intersect(o.v_)};
+    }
+
+    /// Smallest rect containing both.
+    [[nodiscard]] tilted_rect hull(const tilted_rect& o) const {
+        return {u_.hull(o.u_), v_.hull(o.v_)};
+    }
+
+    /// L-infinity distance in tilted space == Manhattan distance between the
+    /// real-space sets:  max of the per-axis gaps.
+    [[nodiscard]] double distance(const tilted_rect& o) const {
+        return std::max(u_.gap(o.u_), v_.gap(o.v_));
+    }
+
+    [[nodiscard]] double distance(const tilted_point& p) const {
+        return std::max(u_.distance(p.u), v_.distance(p.v));
+    }
+
+    /// Nearest point of the rect to p in the L-infinity metric (clamping is
+    /// optimal per-axis, hence globally for L-infinity).
+    [[nodiscard]] tilted_point nearest(const tilted_point& p) const {
+        return {u_.clamp(p.u), v_.clamp(p.v)};
+    }
+
+    /// The four tilted corners (duplicates for degenerate rects).
+    [[nodiscard]] std::array<tilted_point, 4> corners() const {
+        return {tilted_point{u_.lo, v_.lo}, tilted_point{u_.hi, v_.lo},
+                tilted_point{u_.hi, v_.hi}, tilted_point{u_.lo, v_.hi}};
+    }
+
+    /// Corners in real (x, y) space, in drawing order — a diamond-oriented
+    /// rectangle.  Used by the SVG exporter and the tests.
+    [[nodiscard]] std::array<point, 4> real_corners() const;
+
+    /// Evenly spaced sample points over the rect (for brute-force property
+    /// tests).  n points per axis.
+    [[nodiscard]] std::vector<tilted_point> sample_grid(int n) const;
+
+    [[nodiscard]] bool almost_equal(const tilted_rect& o, double eps = kGeomEps) const {
+        return u_.almost_equal(o.u_, eps) && v_.almost_equal(o.v_, eps);
+    }
+
+    friend bool operator==(const tilted_rect&, const tilted_rect&) = default;
+
+  private:
+    interval u_ = interval::empty_set();
+    interval v_ = interval::empty_set();
+};
+
+/// The DME merging segment for child regions a and b with wire splits
+/// alpha + beta == distance(a, b):  a.expanded(alpha) ∩ b.expanded(beta).
+/// Every point of the result is at L1 distance exactly alpha from a and
+/// beta from b.  Returns an empty rect if alpha or beta is negative.
+tilted_rect merging_segment(const tilted_rect& a, const tilted_rect& b,
+                            double alpha, double beta);
+
+std::ostream& operator<<(std::ostream& os, const tilted_rect& r);
+
+}  // namespace astclk::geom

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file instance_io.hpp
+/// Plain-text instance format, round-trip safe.
+///
+/// Format (line oriented, '#' comments allowed):
+///
+///     astclk-instance v1
+///     name r1
+///     die <width> <height>
+///     source <x> <y>
+///     groups <k>
+///     sinks <n>
+///     <x> <y> <cap_farads> <group>      (n lines)
+///
+/// Floating-point fields are written with max_digits10 so that
+/// write -> read reproduces the instance bit-exactly.
+
+#include "topo/instance.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace astclk::io {
+
+/// Serialise to a stream.
+void write_instance(std::ostream& os, const topo::instance& inst);
+
+/// Parse from a stream; throws std::runtime_error with a line-numbered
+/// message on malformed input.
+[[nodiscard]] topo::instance read_instance(std::istream& is);
+
+/// File convenience wrappers.
+void save_instance(const std::string& path, const topo::instance& inst);
+[[nodiscard]] topo::instance load_instance(const std::string& path);
+
+}  // namespace astclk::io

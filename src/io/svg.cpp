@@ -1,0 +1,90 @@
+#include "io/svg.hpp"
+
+#include <array>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace astclk::io {
+
+namespace {
+
+constexpr std::array<const char*, 10> kpalette = {
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+    "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf"};
+
+const char* group_color(topo::group_id g) {
+    return kpalette[static_cast<std::size_t>(g) % kpalette.size()];
+}
+
+}  // namespace
+
+void write_tree_svg(std::ostream& os, const topo::clock_tree& t,
+                    const topo::instance& inst, const svg_options& opt) {
+    const double w = std::max(inst.die_width, 1.0);
+    const double h = std::max(inst.die_height, 1.0);
+    const double s = opt.canvas / std::max(w, h);
+    const auto X = [&](double x) { return x * s; };
+    // SVG y grows downward; flip so the die reads naturally.
+    const auto Y = [&](double y) { return (h - y) * s; };
+
+    os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << opt.canvas
+       << "' height='" << opt.canvas << "' viewBox='0 0 " << opt.canvas << ' '
+       << opt.canvas << "'>\n";
+    os << "<rect width='100%' height='100%' fill='white'/>\n";
+
+    // Edges: parent -> child as an L-route (horizontal then vertical).
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const auto& n = t.node(static_cast<topo::node_id>(i));
+        if (n.is_leaf() || !n.is_placed) continue;
+        const auto draw_edge = [&](topo::node_id child, double electrical) {
+            const auto& c = t.node(child);
+            if (!c.is_placed) return;
+            const double phys = geom::manhattan(n.placed, c.placed);
+            const bool snaked = electrical > phys + 1e-6;
+            os << "<path d='M " << X(n.placed.x) << ' ' << Y(n.placed.y)
+               << " L " << X(c.placed.x) << ' ' << Y(n.placed.y) << " L "
+               << X(c.placed.x) << ' ' << Y(c.placed.y)
+               << "' fill='none' stroke='" << (snaked ? "#d62728" : "#444444")
+               << "' stroke-width='1'"
+               << (snaked ? " stroke-dasharray='4 2'" : "") << "/>\n";
+        };
+        draw_edge(n.left, n.edge_left);
+        draw_edge(n.right, n.edge_right);
+    }
+
+    if (opt.draw_arcs) {
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            const auto& n = t.node(static_cast<topo::node_id>(i));
+            if (n.is_leaf() || n.arc.empty()) continue;
+            const auto c = n.arc.real_corners();
+            os << "<polygon points='";
+            for (const auto& p : c) os << X(p.x) << ',' << Y(p.y) << ' ';
+            os << "' fill='none' stroke='#aaccee' stroke-width='0.5'/>\n";
+        }
+    }
+
+    if (opt.draw_sinks) {
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            const auto& n = t.node(static_cast<topo::node_id>(i));
+            if (!n.is_leaf()) continue;
+            const auto& sk = inst.sinks[static_cast<std::size_t>(n.sink_index)];
+            os << "<circle cx='" << X(sk.loc.x) << "' cy='" << Y(sk.loc.y)
+               << "' r='3' fill='" << group_color(sk.group) << "'/>\n";
+        }
+    }
+
+    os << "<rect x='" << X(inst.source.x) - 5 << "' y='" << Y(inst.source.y) - 5
+       << "' width='10' height='10' fill='black'/>\n";
+    os << "</svg>\n";
+}
+
+void save_tree_svg(const std::string& path, const topo::clock_tree& t,
+                   const topo::instance& inst, const svg_options& opt) {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("cannot open for writing: " + path);
+    write_tree_svg(f, t, inst, opt);
+}
+
+}  // namespace astclk::io

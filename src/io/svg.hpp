@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file svg.hpp
+/// SVG export of routed clock trees for visual inspection: edges as
+/// L-shaped Manhattan routes between embedded points, sinks coloured by
+/// group, the source marked, snaked edges dashed.
+
+#include "topo/instance.hpp"
+#include "topo/tree.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace astclk::io {
+
+struct svg_options {
+    double canvas = 900.0;      ///< output size in px (square)
+    bool draw_sinks = true;
+    bool draw_arcs = false;     ///< also draw merging arcs (diagnostic)
+};
+
+/// Render an embedded tree (embed_tree must have been run).
+void write_tree_svg(std::ostream& os, const topo::clock_tree& t,
+                    const topo::instance& inst, const svg_options& opt = {});
+
+/// File convenience wrapper.
+void save_tree_svg(const std::string& path, const topo::clock_tree& t,
+                   const topo::instance& inst, const svg_options& opt = {});
+
+}  // namespace astclk::io

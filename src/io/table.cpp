@@ -1,0 +1,62 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace astclk::io {
+
+void table::print(std::ostream& os) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    const auto print_rule = [&]() {
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            os << '+' << std::string(width[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    const auto print_cells = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            const std::string& v = c < cells.size() ? cells[c] : std::string();
+            os << "| " << v << std::string(width[c] - v.size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+
+    print_rule();
+    print_cells(headers_);
+    print_rule();
+    for (const auto& row : rows_) {
+        if (row.empty())
+            print_rule();
+        else
+            print_cells(row);
+    }
+    print_rule();
+}
+
+std::string table::fixed(double v, int precision) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << v;
+    return os.str();
+}
+
+std::string table::integer(double v) {
+    std::ostringstream os;
+    os << static_cast<long long>(std::llround(v));
+    return os.str();
+}
+
+std::string table::percent(double fraction) {
+    return fixed(100.0 * fraction, 2) + "%";
+}
+
+}  // namespace astclk::io

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file table.hpp
+/// Minimal column-aligned ASCII table printer used by the bench harness to
+/// print the paper's tables.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace astclk::io {
+
+class table {
+  public:
+    explicit table(std::vector<std::string> headers)
+        : headers_(std::move(headers)) {}
+
+    void add_row(std::vector<std::string> cells) {
+        rows_.push_back(std::move(cells));
+    }
+
+    /// Horizontal separator row.
+    void add_rule() { rows_.push_back({}); }
+
+    void print(std::ostream& os) const;
+
+    /// Fixed-point formatting helper.
+    static std::string fixed(double v, int precision);
+    /// Integer with no grouping (the paper prints raw wirelengths).
+    static std::string integer(double v);
+    /// Percentage with two decimals and a trailing '%'.
+    static std::string percent(double fraction);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace astclk::io

@@ -1,0 +1,49 @@
+#include "io/tree_json.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace astclk::io {
+
+void write_tree_json(std::ostream& os, const topo::clock_tree& t,
+                     const topo::instance& inst) {
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    os << "{\n";
+    os << "  \"name\": \"" << (inst.name.empty() ? "instance" : inst.name)
+       << "\",\n";
+    os << "  \"wirelength\": " << t.total_wirelength() << ",\n";
+    os << "  \"source\": {\"x\": " << inst.source.x
+       << ", \"y\": " << inst.source.y << "},\n";
+    os << "  \"source_edge\": " << t.source_edge() << ",\n";
+    os << "  \"root\": " << t.root() << ",\n";
+    os << "  \"nodes\": [\n";
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const auto& n = t.node(static_cast<topo::node_id>(i));
+        os << "    {\"id\": " << n.id << ", \"left\": " << n.left
+           << ", \"right\": " << n.right;
+        if (n.is_leaf()) {
+            const auto& s = inst.sinks[static_cast<std::size_t>(n.sink_index)];
+            os << ", \"sink\": " << n.sink_index << ", \"group\": " << s.group
+               << ", \"cap\": " << s.cap;
+        } else {
+            os << ", \"edge_left\": " << n.edge_left
+               << ", \"edge_right\": " << n.edge_right;
+        }
+        if (n.is_placed)
+            os << ", \"x\": " << n.placed.x << ", \"y\": " << n.placed.y;
+        os << '}' << (i + 1 < t.size() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+}
+
+void save_tree_json(const std::string& path, const topo::clock_tree& t,
+                    const topo::instance& inst) {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("cannot open for writing: " + path);
+    write_tree_json(f, t, inst);
+}
+
+}  // namespace astclk::io

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file tree_json.hpp
+/// JSON export of routed clock trees for downstream tooling (timing
+/// analysis, custom visualisation).  The schema is flat and stable:
+///
+/// {
+///   "name": "...", "wirelength": W, "source": {"x":..,"y":..},
+///   "source_edge": L,
+///   "nodes": [ {"id":i, "left":l, "right":r, "sink":s, "group":g,
+///               "x":..., "y":..., "edge_left":..., "edge_right":...}, ... ],
+///   "root": id
+/// }
+///
+/// Leaves have "sink"/"group" and no children (-1); internal nodes the
+/// reverse.  Coordinates are the embedded locations; edge lengths are
+/// electrical (snaking included).
+
+#include "topo/instance.hpp"
+#include "topo/tree.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace astclk::io {
+
+/// Serialise an embedded tree as JSON.
+void write_tree_json(std::ostream& os, const topo::clock_tree& t,
+                     const topo::instance& inst);
+
+/// File convenience wrapper.
+void save_tree_json(const std::string& path, const topo::clock_tree& t,
+                    const topo::instance& inst);
+
+}  // namespace astclk::io

@@ -1,0 +1,5 @@
+#include "rc/delay_model.hpp"
+
+// delay_model is header-only; this translation unit anchors the library.
+
+namespace astclk::rc {}

@@ -1,0 +1,70 @@
+#include "rc/solve.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace astclk::rc {
+
+std::optional<double> length_for_delay(const delay_model& m, double target,
+                                       double downstream_cap) {
+    assert(target >= 0.0);
+    if (target == 0.0) return 0.0;
+    if (m.kind == model_kind::path_length) return target;
+    const double r = m.wire.res_per_unit;
+    const double c = m.wire.cap_per_unit;
+    if (r <= 0.0) return std::nullopt;
+    if (c <= 0.0) {
+        // Pure-resistance degenerate case: e(l) = r*C*l.
+        if (downstream_cap <= 0.0) return std::nullopt;
+        return target / (r * downstream_cap);
+    }
+    // (rc/2) l^2 + r C l - target = 0, positive root.
+    const double a = 0.5 * r * c;
+    const double b = r * downstream_cap;
+    const double disc = b * b + 4.0 * a * target;
+    return (-b + std::sqrt(disc)) / (2.0 * a);
+}
+
+std::optional<double> snake_for_extra_delay(const delay_model& m, double len,
+                                            double downstream_cap,
+                                            double extra_delay) {
+    assert(len >= 0.0 && extra_delay >= 0.0);
+    if (extra_delay == 0.0) return 0.0;
+    if (m.kind == model_kind::path_length) return extra_delay;
+    // e(len + g, C) - e(len, C) = (rc/2)(2 len g + g^2) + r C g.
+    const double r = m.wire.res_per_unit;
+    const double c = m.wire.cap_per_unit;
+    if (r <= 0.0) return std::nullopt;
+    const double a = 0.5 * r * c;
+    const double b = r * c * len + r * downstream_cap;
+    if (a <= 0.0) {
+        if (b <= 0.0) return std::nullopt;
+        return extra_delay / b;
+    }
+    const double disc = b * b + 4.0 * a * extra_delay;
+    return (-b + std::sqrt(disc)) / (2.0 * a);
+}
+
+double delay_diff(const delay_model& m, double span, double cap_a,
+                  double cap_b, double alpha) {
+    return m.edge_delay(span - alpha, cap_b) - m.edge_delay(alpha, cap_a);
+}
+
+std::optional<double> split_for_target(const delay_model& m, double span,
+                                       double cap_a, double cap_b,
+                                       double target) {
+    if (m.kind == model_kind::path_length) {
+        // (span - alpha) - alpha = target.
+        return 0.5 * (span - target);
+    }
+    const double r = m.wire.res_per_unit;
+    const double c = m.wire.cap_per_unit;
+    // D(alpha) = (rc/2)(span^2 - 2 span alpha) + r c_b span
+    //            - alpha r (c_a + c_b)            [quadratics cancel]
+    const double denom = r * c * span + r * (cap_a + cap_b);
+    if (denom <= 0.0) return std::nullopt;
+    const double num = 0.5 * r * c * span * span + r * cap_b * span - target;
+    return num / denom;
+}
+
+}  // namespace astclk::rc

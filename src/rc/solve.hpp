@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file solve.hpp
+/// Closed-form solvers for the merge equations of DME-style routing.
+///
+/// All of the paper's layout-embedding mathematics (Ch. V, Eqs. 5.1-5.3)
+/// reduces to two primitives:
+///
+///  1. **Split.** Place the merge point at distance alpha from child A and
+///     beta = L - alpha from child B so that the delay difference
+///         D(alpha) = e(beta, C_B) - e(alpha, C_A)
+///     hits a target.  Under Elmore the quadratic terms cancel and D is
+///     *linear* in alpha, so the solve is exact.
+///
+///  2. **Snake.** When the target is outside the reachable range, keep one
+///     side at zero and lengthen the other beyond L (wire snaking):
+///     a single positive-root quadratic.
+///
+/// The same primitives, applied to an interior edge of an already-built
+/// subtree, implement the paper's Eq. (5.2) gamma-snaking for partially
+/// shared groups.
+
+#include "rc/delay_model.hpp"
+
+#include <optional>
+
+namespace astclk::rc {
+
+/// Smallest non-negative wire length whose edge delay into `downstream_cap`
+/// equals `target` (>= 0).  Elmore: positive root of
+/// (rc/2) l^2 + r C l - target = 0; path-length: target itself.
+/// Returns nullopt when the model cannot reach the target (r == 0).
+[[nodiscard]] std::optional<double> length_for_delay(const delay_model& m,
+                                                     double target,
+                                                     double downstream_cap);
+
+/// Extra length gamma >= 0 such that extending an edge of current length
+/// `len` driving `downstream_cap` adds exactly `extra_delay` >= 0:
+///     e(len + gamma, C) - e(len, C) = extra_delay.
+[[nodiscard]] std::optional<double> snake_for_extra_delay(const delay_model& m,
+                                                          double len,
+                                                          double downstream_cap,
+                                                          double extra_delay);
+
+/// Delay difference D(alpha) = e(L - alpha, C_b) - e(alpha, C_a) for a merge
+/// of span L.  Decreasing in alpha.
+[[nodiscard]] double delay_diff(const delay_model& m, double span, double cap_a,
+                                double cap_b, double alpha);
+
+/// Exact alpha with delay_diff(alpha) == target, unclamped (may fall outside
+/// [0, span], signalling that snaking is needed).  Under Elmore D is linear
+/// in alpha; under path-length it is linear too.  Returns nullopt for a
+/// degenerate system (span == 0 with both caps 0 under Elmore, etc.) —
+/// callers treat span == 0 specially anyway.
+[[nodiscard]] std::optional<double> split_for_target(const delay_model& m,
+                                                     double span, double cap_a,
+                                                     double cap_b,
+                                                     double target);
+
+}  // namespace astclk::rc

@@ -1,0 +1,12 @@
+#include "rc/wire.hpp"
+
+#include <ostream>
+
+namespace astclk::rc {
+
+std::ostream& operator<<(std::ostream& os, const wire_params& w) {
+    return os << "{r=" << w.res_per_unit << " ohm/u, c=" << w.cap_per_unit
+              << " F/u}";
+}
+
+}  // namespace astclk::rc

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file wire.hpp
+/// Interconnect technology parameters.
+///
+/// Lengths are in abstract layout units (the synthetic r1-r5 instances use
+/// 0.1 um units on a 100 000 x 100 000 die), resistance in ohms per unit and
+/// capacitance in farads per unit; delays come out in seconds.
+
+#include <iosfwd>
+
+namespace astclk::rc {
+
+/// Per-unit-length wire parasitics.
+struct wire_params {
+    double res_per_unit = 0.0;  ///< ohm / unit
+    double cap_per_unit = 0.0;  ///< farad / unit
+
+    friend bool operator==(const wire_params&, const wire_params&) = default;
+};
+
+/// Technology preset modelled on the parameters commonly used with the
+/// r1-r5 clock benchmarks: 0.003 ohm and 0.02 fF per unit.
+[[nodiscard]] constexpr wire_params classic_clock_tech() {
+    return {0.003, 0.02e-15};
+}
+
+/// Seconds -> picoseconds, the unit the paper reports skew in.
+[[nodiscard]] constexpr double to_ps(double seconds) { return seconds * 1e12; }
+
+std::ostream& operator<<(std::ostream& os, const wire_params& w);
+
+}  // namespace astclk::rc

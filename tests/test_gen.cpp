@@ -1,0 +1,137 @@
+// Benchmark-substrate tests: RNG determinism, instance synthesis, and the
+// two group partitioners of Ch. VI.
+
+#include "gen/grouping.hpp"
+#include "gen/instance_gen.hpp"
+#include "gen/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace astclk::gen {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+    rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+    rng c(43);
+    EXPECT_NE(rng(42).next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+    rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.uniform(2.0, 5.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 5.0);
+    }
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(10), 10u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+    rng r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) seen.insert(r.below(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(InstanceGen, PaperSuiteSinkCounts) {
+    const auto suite = paper_suite();
+    EXPECT_EQ(suite[0].num_sinks, 267);
+    EXPECT_EQ(suite[1].num_sinks, 598);
+    EXPECT_EQ(suite[2].num_sinks, 862);
+    EXPECT_EQ(suite[3].num_sinks, 1903);
+    EXPECT_EQ(suite[4].num_sinks, 3101);
+    EXPECT_EQ(paper_spec("r4").num_sinks, 1903);
+    EXPECT_THROW(paper_spec("r9"), std::invalid_argument);
+}
+
+TEST(InstanceGen, GeneratedInstanceIsValidAndInDie) {
+    const auto inst = generate(paper_spec("r1"));
+    EXPECT_EQ(inst.validate(), "");
+    EXPECT_EQ(inst.size(), 267u);
+    for (const auto& s : inst.sinks) {
+        EXPECT_GE(s.loc.x, 0.0);
+        EXPECT_LE(s.loc.x, inst.die_width);
+        EXPECT_GE(s.loc.y, 0.0);
+        EXPECT_LE(s.loc.y, inst.die_height);
+        EXPECT_GE(s.cap, 5e-15);
+        EXPECT_LE(s.cap, 50e-15);
+    }
+}
+
+TEST(InstanceGen, DeterministicUnderSeed) {
+    const auto a = generate(paper_spec("r2"));
+    const auto b = generate(paper_spec("r2"));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.sinks[i], b.sinks[i]);
+    auto spec = paper_spec("r2");
+    spec.seed = 999;
+    const auto c = generate(spec);
+    EXPECT_NE(a.sinks[0], c.sinks[0]);
+}
+
+TEST(Grouping, ClusteredAssignsByBox) {
+    auto inst = generate(paper_spec("r1"));
+    apply_clustered_groups(inst, 4);  // 2 x 2 grid
+    EXPECT_EQ(inst.validate(), "");
+    EXPECT_LE(inst.num_groups, 4);
+    EXPECT_GE(inst.num_groups, 1);
+    // Sinks in the same quadrant share a group.
+    const double hw = inst.die_width / 2, hh = inst.die_height / 2;
+    for (std::size_t i = 0; i < inst.size(); ++i) {
+        for (std::size_t j = i + 1; j < inst.size(); ++j) {
+            const auto& a = inst.sinks[i];
+            const auto& b = inst.sinks[j];
+            const bool same_box = (a.loc.x < hw) == (b.loc.x < hw) &&
+                                  (a.loc.y < hh) == (b.loc.y < hh);
+            if (same_box) EXPECT_EQ(a.group, b.group);
+        }
+    }
+}
+
+TEST(Grouping, ClusteredGroupsAreGeometricallySeparated) {
+    auto inst = generate(paper_spec("r1"));
+    apply_clustered_groups(inst, 6);
+    EXPECT_EQ(inst.validate(), "");
+}
+
+TEST(Grouping, IntermingledCoversAllGroups) {
+    auto inst = generate(paper_spec("r1"));
+    apply_intermingled_groups(inst, 10, 5);
+    EXPECT_EQ(inst.num_groups, 10);
+    EXPECT_EQ(inst.validate(), "");  // validate() checks non-empty groups
+}
+
+TEST(Grouping, IntermingledIsDeterministicPerSeed) {
+    auto a = generate(paper_spec("r1"));
+    auto b = generate(paper_spec("r1"));
+    apply_intermingled_groups(a, 6, 77);
+    apply_intermingled_groups(b, 6, 77);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a.sinks[i].group, b.sinks[i].group);
+    auto c = generate(paper_spec("r1"));
+    apply_intermingled_groups(c, 6, 78);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        any_diff |= a.sinks[i].group != c.sinks[i].group;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Grouping, IntermingledIsActuallyIntermingled) {
+    // With random assignment, each quadrant of the die should contain
+    // sinks of every group — the paper's "difficult instance" property.
+    auto inst = generate(paper_spec("r3"));
+    apply_intermingled_groups(inst, 4, 3);
+    const double hw = inst.die_width / 2, hh = inst.die_height / 2;
+    std::set<topo::group_id> quadrant[4];
+    for (const auto& s : inst.sinks) {
+        const int q = (s.loc.x < hw ? 0 : 1) + (s.loc.y < hh ? 0 : 2);
+        quadrant[q].insert(s.group);
+    }
+    for (const auto& q : quadrant) EXPECT_EQ(q.size(), 4u);
+}
+
+}  // namespace
+}  // namespace astclk::gen

@@ -1,0 +1,164 @@
+// Unit and property tests for the tilted-coordinate Manhattan geometry
+// kernel: transforms, distances, TRR expansion, and the DME merging-segment
+// invariant (every point of the intersection lies at exactly the split
+// distances from both children).
+
+#include "geom/point.hpp"
+#include "geom/tilted_rect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace astclk::geom {
+namespace {
+
+TEST(Point, TiltedRoundTrip) {
+    const point p{3.0, -7.5};
+    const tilted_point t = p.to_tilted();
+    EXPECT_DOUBLE_EQ(t.u, p.x + p.y);
+    EXPECT_DOUBLE_EQ(t.v, p.x - p.y);
+    const point back = t.to_real();
+    EXPECT_DOUBLE_EQ(back.x, p.x);
+    EXPECT_DOUBLE_EQ(back.y, p.y);
+}
+
+TEST(Point, ManhattanEqualsTiltedChebyshev) {
+    std::mt19937 rng(7);
+    std::uniform_real_distribution<double> d(-100.0, 100.0);
+    for (int i = 0; i < 200; ++i) {
+        const point a{d(rng), d(rng)};
+        const point b{d(rng), d(rng)};
+        EXPECT_NEAR(manhattan(a, b), chebyshev(a.to_tilted(), b.to_tilted()),
+                    1e-9);
+    }
+}
+
+TEST(TiltedRect, PointRectIsDegenerate) {
+    const auto r = tilted_rect::at(point{1.0, 2.0});
+    EXPECT_TRUE(r.is_point());
+    EXPECT_TRUE(r.is_manhattan_arc());
+    EXPECT_FALSE(r.empty());
+    EXPECT_TRUE(r.contains(point{1.0, 2.0}.to_tilted()));
+}
+
+TEST(TiltedRect, ManhattanArcDetection) {
+    // Degenerate in u => slope -1 segment in real space.
+    const tilted_rect arc{interval::at(5.0), interval{0.0, 4.0}};
+    EXPECT_TRUE(arc.is_manhattan_arc());
+    EXPECT_FALSE(arc.is_point());
+    // A fat rect is not an arc.
+    const tilted_rect fat{interval{0.0, 2.0}, interval{0.0, 2.0}};
+    EXPECT_FALSE(fat.is_manhattan_arc());
+}
+
+TEST(TiltedRect, DistanceMatchesPointMath) {
+    const auto a = tilted_rect::at(point{0.0, 0.0});
+    const auto b = tilted_rect::at(point{3.0, 1.0});
+    EXPECT_DOUBLE_EQ(a.distance(b), 4.0);  // |3| + |1|
+    EXPECT_DOUBLE_EQ(a.distance(a), 0.0);
+}
+
+TEST(TiltedRect, ExpansionIsTrr) {
+    // TRR of a point with radius r: the L1 ball, containing exactly the
+    // points within Manhattan distance r.
+    const point c{10.0, 10.0};
+    const auto trr = tilted_rect::at(c).expanded(5.0);
+    EXPECT_TRUE(trr.contains(point{13.0, 12.0}.to_tilted()));   // d = 5
+    EXPECT_TRUE(trr.contains(point{15.0, 10.0}.to_tilted()));   // d = 5
+    EXPECT_FALSE(trr.contains(point{13.1, 12.0}.to_tilted()));  // d = 5.1
+}
+
+TEST(TiltedRect, NearestPointIsClampAndOptimal) {
+    const tilted_rect r{interval{0.0, 2.0}, interval{-1.0, 1.0}};
+    const tilted_point q{5.0, 0.5};
+    const tilted_point n = r.nearest(q);
+    EXPECT_DOUBLE_EQ(n.u, 2.0);
+    EXPECT_DOUBLE_EQ(n.v, 0.5);
+    EXPECT_DOUBLE_EQ(chebyshev(q, n), r.distance(q));
+}
+
+TEST(TiltedRect, IntersectAndHull) {
+    const tilted_rect a{interval{0, 4}, interval{0, 4}};
+    const tilted_rect b{interval{2, 6}, interval{3, 8}};
+    const auto i = a.intersect(b);
+    EXPECT_DOUBLE_EQ(i.u().lo, 2);
+    EXPECT_DOUBLE_EQ(i.u().hi, 4);
+    EXPECT_DOUBLE_EQ(i.v().lo, 3);
+    EXPECT_DOUBLE_EQ(i.v().hi, 4);
+    const auto h = a.hull(b);
+    EXPECT_DOUBLE_EQ(h.u().hi, 6);
+    EXPECT_DOUBLE_EQ(h.v().hi, 8);
+}
+
+TEST(TiltedRect, EmptyPropagation) {
+    const auto e = tilted_rect::empty_set();
+    EXPECT_TRUE(e.empty());
+    EXPECT_TRUE(e.intersect(tilted_rect::at(point{0, 0})).empty());
+    EXPECT_TRUE(e.sample_grid(3).empty());
+}
+
+TEST(TiltedRect, RealCornersFormDiamond) {
+    // The unit L1 ball around the origin has corners at distance 1 on the
+    // axes.
+    const auto ball = tilted_rect::at(point{0, 0}).expanded(1.0);
+    for (const auto& c : ball.real_corners())
+        EXPECT_NEAR(std::fabs(c.x) + std::fabs(c.y), 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// The DME invariant: for random rect pairs and any split alpha + beta == d,
+// merging_segment(a, b, alpha, beta) is non-empty and all its points are at
+// Manhattan distance exactly alpha from a and beta from b.
+// ---------------------------------------------------------------------------
+
+class MergingSegmentProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergingSegmentProperty, IsoDistanceLocus) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()));
+    std::uniform_real_distribution<double> coord(-50.0, 50.0);
+    std::uniform_real_distribution<double> len(0.0, 20.0);
+    std::uniform_real_distribution<double> frac(0.0, 1.0);
+    for (int iter = 0; iter < 50; ++iter) {
+        const double au = coord(rng), av = coord(rng);
+        const double bu = coord(rng), bv = coord(rng);
+        const tilted_rect a{interval{au, au + len(rng)},
+                            interval{av, av + len(rng)}};
+        const tilted_rect b{interval{bu, bu + len(rng)},
+                            interval{bv, bv + len(rng)}};
+        const double d = a.distance(b);
+        const double alpha = frac(rng) * d;
+        const double beta = d - alpha;
+        const tilted_rect m = merging_segment(a, b, alpha, beta);
+        ASSERT_FALSE(m.empty(1e-9));
+        for (const auto& p : m.sample_grid(4)) {
+            EXPECT_NEAR(a.distance(p), alpha, 1e-9);
+            EXPECT_NEAR(b.distance(p), beta, 1e-9);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergingSegmentProperty,
+                         ::testing::Range(1, 9));
+
+TEST(MergingSegment, NegativeRadiiAreEmpty) {
+    const auto a = tilted_rect::at(point{0, 0});
+    const auto b = tilted_rect::at(point{10, 0});
+    EXPECT_TRUE(merging_segment(a, b, -1.0, 11.0).empty());
+}
+
+TEST(MergingSegment, ClassicTwoSinkCase) {
+    // Sinks at (0,0) and (10,0): d = 10; the midpoint split yields the
+    // perpendicular Manhattan bisector segment through (5, 0).
+    const auto a = tilted_rect::at(point{0, 0});
+    const auto b = tilted_rect::at(point{10, 0});
+    const auto m = merging_segment(a, b, 5.0, 5.0);
+    ASSERT_FALSE(m.empty());
+    EXPECT_TRUE(m.contains(point{5.0, 0.0}.to_tilted()));
+    // The merging segment is a Manhattan arc.
+    EXPECT_TRUE(m.is_manhattan_arc(1e-9));
+}
+
+}  // namespace
+}  // namespace astclk::geom

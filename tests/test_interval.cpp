@@ -1,0 +1,120 @@
+// Unit tests for the closed-interval kernel.
+
+#include "geom/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace astclk::geom {
+namespace {
+
+TEST(Interval, DefaultIsDegenerateZero) {
+    interval iv;
+    EXPECT_FALSE(iv.empty());
+    EXPECT_DOUBLE_EQ(iv.lo, 0.0);
+    EXPECT_DOUBLE_EQ(iv.hi, 0.0);
+    EXPECT_DOUBLE_EQ(iv.length(), 0.0);
+}
+
+TEST(Interval, AtHoldsSingleValue) {
+    const auto iv = interval::at(3.5);
+    EXPECT_TRUE(iv.contains(3.5));
+    EXPECT_DOUBLE_EQ(iv.length(), 0.0);
+    EXPECT_DOUBLE_EQ(iv.mid(), 3.5);
+}
+
+TEST(Interval, EmptySetBehaviour) {
+    const auto e = interval::empty_set();
+    EXPECT_TRUE(e.empty());
+    EXPECT_FALSE(e.contains(0.0, 0.0));
+    // Intersection with anything stays empty.
+    EXPECT_TRUE(e.intersect({-10, 10}).empty());
+    // Hull with a real interval recovers the real interval.
+    const auto h = e.hull({1, 2});
+    EXPECT_DOUBLE_EQ(h.lo, 1);
+    EXPECT_DOUBLE_EQ(h.hi, 2);
+}
+
+TEST(Interval, EmptyToleranceClassification) {
+    const interval slightly_inverted{1.0 + 1e-12, 1.0};
+    EXPECT_TRUE(slightly_inverted.empty());
+    EXPECT_FALSE(slightly_inverted.empty(1e-9));
+}
+
+TEST(Interval, ContainsWithTolerance) {
+    const interval iv{0.0, 1.0};
+    EXPECT_TRUE(iv.contains(1.0 + 0.5 * kGeomEps));
+    EXPECT_FALSE(iv.contains(1.0 + 1.0, 0.0));
+    EXPECT_TRUE(iv.contains(interval{0.2, 0.8}));
+    EXPECT_FALSE(iv.contains(interval{0.2, 1.5}));
+}
+
+TEST(Interval, ClampAndDistance) {
+    const interval iv{-2.0, 5.0};
+    EXPECT_DOUBLE_EQ(iv.clamp(-3.0), -2.0);
+    EXPECT_DOUBLE_EQ(iv.clamp(7.0), 5.0);
+    EXPECT_DOUBLE_EQ(iv.clamp(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(iv.distance(-3.0), 1.0);
+    EXPECT_DOUBLE_EQ(iv.distance(8.0), 3.0);
+    EXPECT_DOUBLE_EQ(iv.distance(0.0), 0.0);
+}
+
+TEST(Interval, GapIsSymmetricAndZeroOnOverlap) {
+    const interval a{0.0, 2.0};
+    const interval b{5.0, 6.0};
+    EXPECT_DOUBLE_EQ(a.gap(b), 3.0);
+    EXPECT_DOUBLE_EQ(b.gap(a), 3.0);
+    EXPECT_DOUBLE_EQ(a.gap(interval{1.0, 3.0}), 0.0);
+    EXPECT_DOUBLE_EQ(a.gap(a), 0.0);
+}
+
+TEST(Interval, ExpandIntersectHullShift) {
+    const interval a{1.0, 2.0};
+    const auto e = a.expanded(0.5);
+    EXPECT_DOUBLE_EQ(e.lo, 0.5);
+    EXPECT_DOUBLE_EQ(e.hi, 2.5);
+    const auto i = a.intersect({1.5, 4.0});
+    EXPECT_DOUBLE_EQ(i.lo, 1.5);
+    EXPECT_DOUBLE_EQ(i.hi, 2.0);
+    const auto h = a.hull({-1.0, 0.0});
+    EXPECT_DOUBLE_EQ(h.lo, -1.0);
+    EXPECT_DOUBLE_EQ(h.hi, 2.0);
+    const auto s = a.shifted(10.0);
+    EXPECT_DOUBLE_EQ(s.lo, 11.0);
+    EXPECT_DOUBLE_EQ(s.hi, 12.0);
+}
+
+TEST(Interval, DisjointIntersectionIsEmpty) {
+    EXPECT_TRUE(interval(0, 1).intersect(interval(2, 3)).empty());
+}
+
+TEST(Interval, StreamFormatting) {
+    std::ostringstream os;
+    os << interval{1, 2} << ' ' << interval::empty_set();
+    EXPECT_EQ(os.str(), "[1, 2] [empty]");
+}
+
+// Algebraic property sweep: expansion distributes over intersection
+// endpoints, gap vanishes after sufficient expansion, etc.
+class IntervalPairProperty
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(IntervalPairProperty, ExpansionClosesGap) {
+    const auto [lo, width, gap_target] = GetParam();
+    const interval a{lo, lo + width};
+    const interval b{lo + width + gap_target, lo + 2 * width + gap_target};
+    const double g = a.gap(b);
+    EXPECT_NEAR(g, std::max(0.0, gap_target), 1e-12);
+    // Expanding each by half the gap makes them touch.
+    EXPECT_NEAR(a.expanded(g / 2).gap(b.expanded(g / 2)), 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IntervalPairProperty,
+    ::testing::Combine(::testing::Values(-5.0, 0.0, 1e3),
+                       ::testing::Values(0.0, 1.0, 42.0),
+                       ::testing::Values(0.0, 0.25, 7.0)));
+
+}  // namespace
+}  // namespace astclk::geom

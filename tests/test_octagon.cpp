@@ -1,0 +1,220 @@
+// Octilinear convex region tests: canonical closure, membership, exact
+// distances (cross-checked by brute force sampling), Minkowski expansion,
+// vertex extraction, and the shortest-distance region of the paper's
+// disjoint-group merges (Fig. 3).
+
+#include "geom/octagon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace astclk::geom {
+namespace {
+
+TEST(Octagon, PointRegion) {
+    const auto o = octagon::at(point{2.0, 3.0});
+    EXPECT_FALSE(o.empty());
+    EXPECT_TRUE(o.contains(point{2.0, 3.0}));
+    EXPECT_FALSE(o.contains(point{2.1, 3.0}, 1e-3));
+    EXPECT_DOUBLE_EQ(o.area(), 0.0);
+}
+
+TEST(Octagon, RectRegion) {
+    const auto o = octagon::rect({0.0, 4.0}, {0.0, 2.0});
+    EXPECT_TRUE(o.contains(point{4.0, 2.0}));
+    EXPECT_TRUE(o.contains(point{0.0, 0.0}));
+    EXPECT_FALSE(o.contains(point{4.1, 2.0}, 1e-3));
+    EXPECT_NEAR(o.area(), 8.0, 1e-9);
+    EXPECT_EQ(o.vertices().size(), 4u);
+}
+
+TEST(Octagon, CanonicalClosureTightensSlabs) {
+    // x in [0,10], y in [0,10], but u = x+y <= 5 cuts the square into a
+    // triangle; closure must tighten x and y to [0,5].
+    const octagon o({0, 10}, {0, 10}, {-100, 5}, interval::all());
+    EXPECT_DOUBLE_EQ(o.x().hi, 5.0);
+    EXPECT_DOUBLE_EQ(o.y().hi, 5.0);
+    EXPECT_NEAR(o.area(), 12.5, 1e-9);
+}
+
+TEST(Octagon, InconsistentSlabsAreEmpty) {
+    const octagon o({0, 1}, {0, 1}, {5, 6}, interval::all());  // x+y <= 2 < 5
+    EXPECT_TRUE(o.empty());
+}
+
+TEST(Octagon, FromTiltedMatchesRectSemantics) {
+    // A Manhattan arc (slope -1 through (1,0) and (0,1)): u = 1, v in [-1,1].
+    const tilted_rect arc{interval::at(1.0), interval{-1.0, 1.0}};
+    const auto o = octagon::from_tilted(arc);
+    EXPECT_TRUE(o.contains(point{1.0, 0.0}));
+    EXPECT_TRUE(o.contains(point{0.0, 1.0}));
+    EXPECT_TRUE(o.contains(point{0.5, 0.5}));
+    EXPECT_FALSE(o.contains(point{1.0, 1.0}, 1e-6));
+}
+
+TEST(Octagon, ExpansionIsL1Minkowski) {
+    const auto o = octagon::at(point{0, 0}).expanded(2.0);
+    // The L1 ball of radius 2.
+    EXPECT_TRUE(o.contains(point{1.0, 1.0}));
+    EXPECT_TRUE(o.contains(point{2.0, 0.0}));
+    EXPECT_FALSE(o.contains(point{1.5, 1.0}, 1e-6));
+    EXPECT_NEAR(o.area(), 8.0, 1e-9);  // diamond with diagonal 4
+}
+
+TEST(Octagon, DistanceToPointMatchesBruteForce) {
+    std::mt19937 rng(11);
+    std::uniform_real_distribution<double> d(-20.0, 20.0);
+    for (int iter = 0; iter < 40; ++iter) {
+        const double x0 = d(rng), y0 = d(rng);
+        const octagon o = octagon::rect({x0, x0 + 6.0}, {y0, y0 + 4.0})
+                              .expanded(std::fabs(d(rng)) * 0.1);
+        const point p{d(rng), d(rng)};
+        const double dist = o.distance(p);
+        // Brute force: min over a dense grid of the region.
+        double best = 1e30;
+        const auto vs = o.vertices();
+        ASSERT_FALSE(vs.empty());
+        double xmin = 1e30, xmax = -1e30, ymin = 1e30, ymax = -1e30;
+        for (const auto& v : vs) {
+            xmin = std::min(xmin, v.x);
+            xmax = std::max(xmax, v.x);
+            ymin = std::min(ymin, v.y);
+            ymax = std::max(ymax, v.y);
+        }
+        const int n = 120;
+        for (int i = 0; i <= n; ++i) {
+            for (int j = 0; j <= n; ++j) {
+                const point q{xmin + (xmax - xmin) * i / n,
+                              ymin + (ymax - ymin) * j / n};
+                if (o.contains(q, 1e-9)) best = std::min(best, manhattan(p, q));
+            }
+        }
+        // Grid granularity bounds the brute-force error.
+        const double cell =
+            (xmax - xmin + ymax - ymin) / n + 1e-9;
+        EXPECT_LE(dist, best + 1e-9);
+        EXPECT_GE(dist, best - 2.0 * cell);
+    }
+}
+
+TEST(Octagon, DistanceBetweenRegions) {
+    const auto a = octagon::rect({0, 1}, {0, 1});
+    const auto b = octagon::rect({4, 5}, {0, 1});
+    EXPECT_NEAR(a.distance(b), 3.0, 1e-9);
+    EXPECT_NEAR(a.distance(a), 0.0, 1e-12);
+    // Diagonal separation: L1 distance adds both gaps.
+    const auto c = octagon::rect({4, 5}, {3, 4});
+    EXPECT_NEAR(a.distance(c), 5.0, 1e-9);
+}
+
+TEST(Octagon, NearestPointAchievesDistance) {
+    const auto o = octagon::rect({0, 2}, {0, 2});
+    const point p{5.0, 1.0};
+    const auto q = o.nearest(p);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_NEAR(manhattan(p, *q), o.distance(p), 1e-6);
+    EXPECT_TRUE(o.contains(*q, 1e-6));
+    // Interior point maps to itself.
+    const auto inside = o.nearest(point{1.0, 1.0});
+    ASSERT_TRUE(inside.has_value());
+    EXPECT_DOUBLE_EQ(inside->x, 1.0);
+}
+
+TEST(Octagon, FeasiblePointIsInside) {
+    const octagon o({0, 10}, {0, 10}, {8, 12}, {-3, 3});
+    const auto p = o.feasible_point();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_TRUE(o.contains(*p, 1e-9));
+    EXPECT_FALSE(octagon::empty_set().feasible_point().has_value());
+}
+
+TEST(Octagon, VerticesAreOctilinear) {
+    const octagon o({0, 10}, {0, 10}, {3, 16}, {-6, 6});
+    const auto vs = o.vertices();
+    ASSERT_GE(vs.size(), 3u);
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+        const point& a = vs[i];
+        const point& b = vs[(i + 1) % vs.size()];
+        const double dx = b.x - a.x, dy = b.y - a.y;
+        // Every edge is horizontal, vertical, or +-45 degrees.
+        const bool ok = std::fabs(dx) < 1e-9 || std::fabs(dy) < 1e-9 ||
+                        std::fabs(std::fabs(dx) - std::fabs(dy)) < 1e-9;
+        EXPECT_TRUE(ok) << "edge " << i << ": dx=" << dx << " dy=" << dy;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shortest-distance region (paper Fig. 3): the merging region between two
+// subtrees with no shared groups.
+// ---------------------------------------------------------------------------
+
+TEST(Sdr, TwoPointsGiveBoundingBox) {
+    // For two points the SDR is exactly their axis-aligned bounding box.
+    const auto a = tilted_rect::at(point{0, 0});
+    const auto b = tilted_rect::at(point{3, 1});
+    const auto sdr = shortest_distance_region(a, b);
+    EXPECT_TRUE(sdr.contains(point{0, 0}));
+    EXPECT_TRUE(sdr.contains(point{3, 1}));
+    EXPECT_TRUE(sdr.contains(point{2, 0.5}));
+    EXPECT_FALSE(sdr.contains(point{-0.5, 0}, 1e-6));
+    EXPECT_FALSE(sdr.contains(point{2, 1.5}, 1e-6));
+    EXPECT_NEAR(sdr.area(), 3.0, 1e-9);
+}
+
+TEST(Sdr, CollinearPointsGiveSegment) {
+    const auto a = tilted_rect::at(point{0, 0});
+    const auto b = tilted_rect::at(point{5, 0});
+    const auto sdr = shortest_distance_region(a, b);
+    EXPECT_NEAR(sdr.area(), 0.0, 1e-9);
+    EXPECT_TRUE(sdr.contains(point{2.5, 0}));
+}
+
+TEST(Sdr, OverlappingRegionsGiveIntersection) {
+    const tilted_rect a{interval{0, 4}, interval{0, 4}};
+    const tilted_rect b{interval{2, 6}, interval{2, 6}};
+    const auto sdr = shortest_distance_region(a, b);
+    // d == 0, so the SDR is a ∩ b (in tilted space [2,4] x [2,4]).
+    EXPECT_TRUE(sdr.contains(tilted_point{3.0, 3.0}.to_real()));
+    EXPECT_FALSE(sdr.contains(tilted_point{1.0, 1.0}.to_real(), 1e-6));
+}
+
+class SdrProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SdrProperty, MembershipMatchesDistanceSum) {
+    // p in SDR(a, b)  <=>  d(p, a) + d(p, b) == d(a, b).
+    std::mt19937 rng(static_cast<unsigned>(GetParam()) * 977);
+    std::uniform_real_distribution<double> coord(-30.0, 30.0);
+    std::uniform_real_distribution<double> len(0.0, 10.0);
+    for (int iter = 0; iter < 25; ++iter) {
+        const double au = coord(rng), av = coord(rng);
+        const double bu = coord(rng), bv = coord(rng);
+        const tilted_rect a{interval{au, au + len(rng)},
+                            interval{av, av + len(rng)}};
+        const tilted_rect b{interval{bu, bu + len(rng)},
+                            interval{bv, bv + len(rng)}};
+        const double d = a.distance(b);
+        const auto sdr = shortest_distance_region(a, b);
+        std::uniform_real_distribution<double> probe(-80.0, 80.0);
+        for (int s = 0; s < 60; ++s) {
+            const tilted_point tp{probe(rng), probe(rng)};
+            const double sum = a.distance(tp) + b.distance(tp);
+            const bool on_sdr = std::fabs(sum - d) <= 1e-7;
+            const bool in_region = sdr.contains(tp.to_real(), 1e-6);
+            if (on_sdr) EXPECT_TRUE(in_region) << "sum=" << sum << " d=" << d;
+            if (sum > d + 1e-5) EXPECT_FALSE(in_region) << "sum=" << sum;
+        }
+        // All iso-split merging segments lie inside the SDR.
+        for (double f : {0.0, 0.3, 0.7, 1.0}) {
+            const auto m = merging_segment(a, b, f * d, (1 - f) * d);
+            for (const auto& p : m.sample_grid(3))
+                EXPECT_TRUE(sdr.contains(p.to_real(), 1e-6));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SdrProperty, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace astclk::geom

@@ -1,0 +1,192 @@
+// Reproductions of the paper's didactic figures as executable tests:
+//   Fig. 1 — bounded skew beats zero skew on wirelength (path-length model);
+//   Fig. 2 — separate per-group trees waste wire on interleaved sinks;
+//   Fig. 3 — the SDR merging region between disjoint-group subtrees;
+//   Fig. 4/5 — shared-group merges: reduced regions and wire sneaking.
+
+#include "core/merge_solver.hpp"
+#include "core/router.hpp"
+#include "eval/report.hpp"
+#include "gen/instance_gen.hpp"
+#include "geom/octagon.hpp"
+
+#include <gtest/gtest.h>
+
+namespace astclk {
+namespace {
+
+using namespace core;
+using topo::instance;
+using topo::node_id;
+
+// ---------------------------------------------------------------------------
+// Fig. 1: on the same 5-sink instance, relaxing the skew bound can only
+// reduce wirelength (17 vs 16 in the paper's drawing).
+// ---------------------------------------------------------------------------
+
+instance fig1_instance() {
+    instance inst;
+    inst.num_groups = 1;
+    inst.die_width = inst.die_height = 10.0;
+    inst.source = {4.0, 5.0};
+    // An asymmetric constellation in the spirit of the figure: four spread
+    // sinks plus one outlier that forces balancing wire under zero skew.
+    inst.sinks = {{{1.0, 1.0}, 1.0, 0},
+                  {{2.0, 6.0}, 1.0, 0},
+                  {{6.0, 2.0}, 1.0, 0},
+                  {{7.0, 7.0}, 1.0, 0},
+                  {{5.0, 9.0}, 1.0, 0}};
+    return inst;
+}
+
+TEST(PaperFig1, BoundedSkewSavesWireUnderPathLengthModel) {
+    const auto inst = fig1_instance();
+    router_options opt;
+    opt.model = rc::delay_model::path_length();
+    const auto zst = route_zst_dme(inst, opt);
+    const auto ev_z = eval::evaluate(zst.tree, inst, opt.model);
+    EXPECT_LT(ev_z.global_skew, 1e-9);
+    // Greedy order noise means a single bound value is not guaranteed to
+    // win on a 5-sink didactic instance, but the best over a small bound
+    // sweep must never lose to zero skew — the figure's actual claim.
+    double best = 1e30;
+    for (double bound : {1.0, 2.0, 4.0, 8.0}) {
+        const auto bst = route_ext_bst(inst, bound, opt);
+        const auto ev_b = eval::evaluate(bst.tree, inst, opt.model);
+        EXPECT_LE(ev_b.global_skew, bound + 1e-9);
+        best = std::min(best, bst.wirelength);
+    }
+    EXPECT_LE(best, zst.wirelength + 1e-9);
+}
+
+TEST(PaperFig1, ElmoreModelShowsTheSameOrderingAtScale) {
+    // On a realistically sized instance the relaxed bound saves real wire:
+    // zero skew must pay balancing (snaking) that a loose bound avoids.
+    gen::instance_spec spec = gen::paper_spec("r1");
+    spec.num_sinks = 64;
+    const auto inst = gen::generate(spec);
+    router_options opt;
+    const auto zst = route_zst_dme(inst, opt);
+    const auto loose = route_ext_bst(inst, 1e-9, opt);  // 1000 ps ~ infinite
+    EXPECT_LT(loose.wirelength, zst.wirelength);
+    const auto ev = eval::evaluate(loose.tree, inst, opt.model);
+    EXPECT_LE(rc::to_ps(ev.global_skew), 1000.0 + 1e-3);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2: two interleaved groups on a line.  Building each group's tree
+// separately and stitching wastes wire (overlap); merging across groups
+// recovers it.  The paper claims up to 1/3 reduction; the comb below shows
+// a large, stable gap.
+// ---------------------------------------------------------------------------
+
+instance fig2_comb(int teeth) {
+    instance inst;
+    inst.num_groups = 2;
+    inst.die_width = static_cast<double>(teeth) * 10.0;
+    inst.die_height = 20.0;
+    inst.source = {inst.die_width / 2, 10.0};
+    for (int i = 0; i < teeth; ++i) {
+        // Alternating groups along a line: maximal interleaving.
+        inst.sinks.push_back(
+            {{10.0 * i + 1.0, 10.0}, 10e-15, static_cast<topo::group_id>(i % 2)});
+    }
+    return inst;
+}
+
+TEST(PaperFig2, SeparateConstructionWastesWireOnInterleavedGroups) {
+    const auto inst = fig2_comb(16);
+    const router_options opt;
+    const auto sep = route_separate_stitch(inst, opt);
+    const auto ast = route_ast_dme(inst);
+    // Both satisfy the constraints...
+    EXPECT_TRUE(
+        eval::verify_route(sep, inst, opt.model, skew_spec::zero()).ok);
+    EXPECT_TRUE(
+        eval::verify_route(ast, inst, opt.model, skew_spec::zero()).ok);
+    // ...but separate trees overlap along the comb and cost far more.
+    EXPECT_GT(sep.wirelength, 1.3 * ast.wirelength);
+}
+
+TEST(PaperFig2, CrossGroupMergingApproachesSingleTreeCost) {
+    const auto inst = fig2_comb(16);
+    const auto ast = route_ast_dme(inst);
+    const auto zst = route_zst_dme(inst);
+    // AST may exploit freedom but never needs to be much worse than the
+    // fully-constrained single-group tree on this symmetric comb.
+    EXPECT_LT(ast.wirelength, 1.1 * zst.wirelength);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3: the merging region of two disjoint-group subtrees is the SDR
+// between their merging segments, and the engine's merge cost equals the
+// distance between them.
+// ---------------------------------------------------------------------------
+
+TEST(PaperFig3, DisjointMergeUsesShortestDistanceRegion) {
+    const geom::tilted_rect ms_a{geom::interval::at(10.0),
+                                 geom::interval{-5.0, 5.0}};
+    const geom::tilted_rect ms_b{geom::interval{30.0, 40.0},
+                                 geom::interval::at(2.0)};
+    const double d = ms_a.distance(ms_b);
+    const auto sdr = geom::shortest_distance_region(ms_a, ms_b);
+    ASSERT_FALSE(sdr.empty());
+    // Every iso-split merging segment lies inside the SDR, and the split
+    // distances add up to d: joining anywhere in the region costs exactly d.
+    for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        const auto m = geom::merging_segment(ms_a, ms_b, f * d, (1 - f) * d);
+        ASSERT_FALSE(m.empty(1e-9));
+        for (const auto& p : m.sample_grid(3)) {
+            EXPECT_NEAR(ms_a.distance(p) + ms_b.distance(p), d, 1e-9);
+            EXPECT_TRUE(sdr.contains(p.to_real(), 1e-6));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4/5 and Eq. (5.2): merging subtrees from partially shared groups.
+// The dedicated merge-solver tests cover the machinery; here we assert the
+// end-to-end property the paper cares about — after the repair, both
+// shared groups are exactly aligned and the extra wire equals the solved
+// gamma within the RC model.
+// ---------------------------------------------------------------------------
+
+TEST(PaperFig5, WireSneakingRestoresFeasibility) {
+    const rc::delay_model model = rc::delay_model::elmore();
+    instance inst;
+    inst.num_groups = 2;
+    inst.die_width = inst.die_height = 5000.0;
+    inst.source = {0, 0};
+    inst.sinks = {{{0, 0}, 10e-15, 0},     {{60, 0}, 10e-15, 1},
+                  {{2205, 0}, 10e-15, 0},  {{1200, 0}, 10e-15, 1},
+                  {{3200, 0}, 10e-15, 1}};
+    topo::clock_tree t;
+    std::vector<node_id> leaves;
+    for (int i = 0; i < 5; ++i) leaves.push_back(t.add_leaf(inst, i));
+    merge_solver solver(model, skew_spec::zero());
+    const node_id left =
+        solver.commit(t, leaves[0], leaves[1],
+                      *solver.plan(t, leaves[0], leaves[1]));
+    const node_id deep =
+        solver.commit(t, leaves[3], leaves[4],
+                      *solver.plan(t, leaves[3], leaves[4]));
+    const node_id right =
+        solver.commit(t, leaves[2], deep, *solver.plan(t, leaves[2], deep));
+
+    const auto plan = solver.plan(t, left, right);
+    ASSERT_TRUE(plan.has_value());
+    ASSERT_FALSE(plan->snakes.empty()) << "expected Eq. 5.2 gamma sneaking";
+    const double gamma_total = [&] {
+        double g = 0.0;
+        for (const auto& s : plan->snakes) g += s.gamma;
+        return g;
+    }();
+    EXPECT_GT(gamma_total, 0.0);
+    EXPECT_NEAR(plan->cost, plan->alpha + plan->beta + gamma_total, 1e-9);
+    // Both groups aligned exactly after the sneak.
+    EXPECT_NEAR(plan->delays.find(0)->length(), 0.0, 1e-21);
+    EXPECT_NEAR(plan->delays.find(1)->length(), 0.0, 1e-21);
+}
+
+}  // namespace
+}  // namespace astclk

@@ -1,0 +1,118 @@
+// Tests for the pattern generators and the inter-group skew matrix (the
+// paper's S_ij by-product), plus the plain-text route report.
+
+#include "core/router.hpp"
+#include "eval/skew_matrix.hpp"
+#include "gen/instance_gen.hpp"
+#include "gen/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+namespace astclk {
+namespace {
+
+TEST(Patterns, AlternatingCombShape) {
+    const auto inst = gen::alternating_comb(12, 3);
+    EXPECT_EQ(inst.validate(), "");
+    EXPECT_EQ(inst.size(), 12u);
+    EXPECT_EQ(inst.num_groups, 3);
+    // Round-robin groups: adjacent sinks differ.
+    for (std::size_t i = 0; i + 1 < inst.size(); ++i)
+        EXPECT_NE(inst.sinks[i].group, inst.sinks[i + 1].group);
+}
+
+TEST(Patterns, TwoClustersHasStragglers) {
+    const auto inst = gen::two_clusters(20);
+    EXPECT_EQ(inst.validate(), "");
+    EXPECT_EQ(inst.size(), 42u);
+    // Each group must have at least one sink in the other group's corner —
+    // the property that makes the instance non-separable.
+    int g0_far = 0, g1_near = 0;
+    for (const auto& s : inst.sinks) {
+        if (s.group == 0 && s.loc.x > inst.die_width / 2) ++g0_far;
+        if (s.group == 1 && s.loc.x < inst.die_width / 2) ++g1_near;
+    }
+    EXPECT_GE(g0_far, 1);
+    EXPECT_GE(g1_near, 1);
+}
+
+TEST(Patterns, RingCoversGroupsEvenly) {
+    const auto inst = gen::ring(24, 4);
+    EXPECT_EQ(inst.validate(), "");
+    for (topo::group_id g = 0; g < 4; ++g)
+        EXPECT_EQ(inst.group_members(g).size(), 6u);
+}
+
+TEST(Patterns, DepthRampStaysZeroSkew) {
+    // Note: the chain alone does NOT force snaking — DME's merging arcs
+    // drift toward wherever balancing is feasible, which is exactly the
+    // algorithm's strength.  The instance still exercises deep caterpillar
+    // topologies.
+    const auto inst = gen::depth_ramp(16);
+    const auto r = core::route_zst_dme(inst);
+    EXPECT_EQ(r.tree.check_structure(inst.size()), "");
+    const auto ev =
+        eval::evaluate(r.tree, inst, rc::delay_model::elmore());
+    EXPECT_LT(rc::to_ps(ev.global_skew), 1e-3);
+}
+
+TEST(Patterns, RandomInstancesDoForceSnaking) {
+    // On realistic random instances zero-skew balancing cannot always stay
+    // on-segment: snake wire must appear (and the tree stays zero-skew).
+    gen::instance_spec spec = gen::paper_spec("r1");
+    const auto inst = gen::generate(spec);
+    const auto r = core::route_zst_dme(inst);
+    EXPECT_GT(r.stats.root_snakes, 0);
+    EXPECT_GT(r.stats.snake_wire, 0.0);
+    const auto ev =
+        eval::evaluate(r.tree, inst, rc::delay_model::elmore());
+    EXPECT_LT(rc::to_ps(ev.global_skew), 1e-3);
+}
+
+TEST(SkewMatrix, OffsetsAreAntisymmetricAndConsistent) {
+    auto inst = gen::ring(30, 3);
+    const auto r = core::route_ast_dme(inst);
+    const auto ev = eval::evaluate(r.tree, inst, rc::delay_model::elmore());
+    const eval::skew_matrix m(ev, inst.num_groups);
+    EXPECT_EQ(m.groups(), 3);
+    for (topo::group_id i = 0; i < 3; ++i) {
+        EXPECT_DOUBLE_EQ(m.offset(i, i), 0.0);
+        for (topo::group_id j = 0; j < 3; ++j)
+            EXPECT_DOUBLE_EQ(m.offset(i, j), -m.offset(j, i));
+    }
+    // Triangle identity: S_ik = S_ij + S_jk.
+    EXPECT_NEAR(m.offset(0, 2), m.offset(0, 1) + m.offset(1, 2), 1e-21);
+    // With zero intra-group spread the extreme pair realises the global
+    // inter-group span.
+    const auto [lo, hi] = m.extreme_pair();
+    EXPECT_NEAR(m.offset(hi, lo), m.max_abs_offset(), 1e-21);
+}
+
+TEST(SkewMatrix, MatchesEvaluatorEnvelopes) {
+    auto inst = gen::alternating_comb(10, 2);
+    const auto r = core::route_ast_dme(inst);
+    const auto ev = eval::evaluate(r.tree, inst, rc::delay_model::elmore());
+    const eval::skew_matrix m(ev, inst.num_groups);
+    // Zero-skew groups: representative == the common group delay.
+    for (topo::group_id g = 0; g < inst.num_groups; ++g) {
+        EXPECT_NEAR(m.representative(g),
+                    ev.group_min[static_cast<std::size_t>(g)], 1e-18);
+    }
+    // |S_01| never exceeds the global skew.
+    EXPECT_LE(m.max_abs_offset(), ev.global_skew + 1e-21);
+}
+
+TEST(Report, FormatsAllSections) {
+    auto inst = gen::ring(12, 2);
+    const auto r = core::route_ast_dme(inst);
+    const auto ev = eval::evaluate(r.tree, inst, rc::delay_model::elmore());
+    const std::string rep = eval::format_report(ev, inst);
+    EXPECT_NE(rep.find("wirelength"), std::string::npos);
+    EXPECT_NE(rep.find("global skew"), std::string::npos);
+    EXPECT_NE(rep.find("inter-group span"), std::string::npos);
+    EXPECT_NE(rep.find("g0:"), std::string::npos);
+    EXPECT_NE(rep.find("g1:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace astclk

@@ -1,0 +1,154 @@
+// RC substrate tests: Elmore/path-length edge delays against hand
+// calculations, and the closed-form merge solvers (split linearity, snake
+// quadratics) as exact inverses.
+
+#include "rc/delay_model.hpp"
+#include "rc/solve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace astclk::rc {
+namespace {
+
+TEST(DelayModel, ElmoreHandComputed) {
+    // r = 2 ohm/u, c = 3 F/u, wire length 4, load 5 F:
+    // e = r*l*(c*l/2 + C) = 2*4*(6 + 5) = 88.
+    delay_model m = delay_model::elmore({2.0, 3.0});
+    EXPECT_DOUBLE_EQ(m.edge_delay(4.0, 5.0), 88.0);
+    EXPECT_DOUBLE_EQ(m.wire_cap(4.0), 12.0);
+    EXPECT_DOUBLE_EQ(m.edge_delay(0.0, 5.0), 0.0);
+}
+
+TEST(DelayModel, PathLengthIsGeometric) {
+    delay_model m = delay_model::path_length();
+    EXPECT_DOUBLE_EQ(m.edge_delay(7.5, 123.0), 7.5);
+    EXPECT_DOUBLE_EQ(m.wire_cap(7.5), 0.0);
+}
+
+TEST(DelayModel, ClassicTechScale) {
+    // 10 mm of wire (1e5 units) into a 20 fF load lands in the hundreds of
+    // picoseconds — the regime of the r1-r5 benchmarks.
+    delay_model m = delay_model::elmore(classic_clock_tech());
+    const double d = m.edge_delay(1e5, 20e-15);
+    EXPECT_GT(to_ps(d), 100.0);
+    EXPECT_LT(to_ps(d), 1000.0);
+}
+
+TEST(Solve, LengthForDelayInvertsEdgeDelay) {
+    delay_model m = delay_model::elmore({2.0, 3.0});
+    for (double target : {0.0, 1.0, 88.0, 1234.5}) {
+        const auto l = length_for_delay(m, target, 5.0);
+        ASSERT_TRUE(l.has_value());
+        EXPECT_NEAR(m.edge_delay(*l, 5.0), target, 1e-9 * (1.0 + target));
+        EXPECT_GE(*l, 0.0);
+    }
+}
+
+TEST(Solve, LengthForDelayPathLength) {
+    const auto l = length_for_delay(delay_model::path_length(), 42.0, 99.0);
+    ASSERT_TRUE(l.has_value());
+    EXPECT_DOUBLE_EQ(*l, 42.0);
+}
+
+TEST(Solve, LengthForDelayDegenerateCases) {
+    // Zero wire capacitance: pure-resistance solution target/(r*C).
+    delay_model m{model_kind::elmore, {2.0, 0.0}};
+    const auto l = length_for_delay(m, 10.0, 5.0);
+    ASSERT_TRUE(l.has_value());
+    EXPECT_DOUBLE_EQ(*l, 1.0);
+    // No resistance at all: unreachable.
+    delay_model zero{model_kind::elmore, {0.0, 1.0}};
+    EXPECT_FALSE(length_for_delay(zero, 10.0, 5.0).has_value());
+}
+
+TEST(Solve, SnakeForExtraDelayInvertsExtension) {
+    delay_model m = delay_model::elmore({0.003, 0.02});
+    const double len = 40.0, cap = 7.0;
+    for (double extra : {0.0, 0.5, 3.0, 100.0}) {
+        const auto g = snake_for_extra_delay(m, len, cap, extra);
+        ASSERT_TRUE(g.has_value());
+        const double got =
+            m.edge_delay(len + *g, cap) - m.edge_delay(len, cap);
+        EXPECT_NEAR(got, extra, 1e-9 * (1.0 + extra));
+        EXPECT_GE(*g, 0.0);
+    }
+}
+
+TEST(Solve, DelayDiffEndpoints) {
+    delay_model m = delay_model::elmore({2.0, 3.0});
+    const double span = 10.0, ca = 4.0, cb = 6.0;
+    EXPECT_DOUBLE_EQ(delay_diff(m, span, ca, cb, 0.0),
+                     m.edge_delay(span, cb));
+    EXPECT_DOUBLE_EQ(delay_diff(m, span, ca, cb, span),
+                     -m.edge_delay(span, ca));
+}
+
+TEST(Solve, SplitForTargetSolvesExactly) {
+    delay_model m = delay_model::elmore({2.0, 3.0});
+    const double span = 10.0, ca = 4.0, cb = 6.0;
+    for (double frac : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+        // Pick a target realised by some alpha, then recover it.
+        const double alpha_true = frac * span;
+        const double target = delay_diff(m, span, ca, cb, alpha_true);
+        const auto alpha = split_for_target(m, span, ca, cb, target);
+        ASSERT_TRUE(alpha.has_value());
+        EXPECT_NEAR(*alpha, alpha_true, 1e-9 * span);
+    }
+}
+
+TEST(Solve, SplitForTargetIsMonotoneDecreasing) {
+    // D(alpha) decreases, so larger targets give smaller alphas.
+    delay_model m = delay_model::elmore({0.003, 0.02});
+    const double span = 1000.0, ca = 50.0, cb = 20.0;
+    const auto a1 = split_for_target(m, span, ca, cb, 10.0);
+    const auto a2 = split_for_target(m, span, ca, cb, 20.0);
+    ASSERT_TRUE(a1 && a2);
+    EXPECT_GT(*a1, *a2);
+}
+
+TEST(Solve, SplitForTargetUnclampedSignalsSnaking) {
+    delay_model m = delay_model::elmore({2.0, 3.0});
+    const double span = 10.0, ca = 4.0, cb = 6.0;
+    // A target far above D(0) would need alpha < 0 (snake on the B side).
+    const double big = m.edge_delay(span, cb) + 100.0;
+    const auto alpha = split_for_target(m, span, ca, cb, big);
+    ASSERT_TRUE(alpha.has_value());
+    EXPECT_LT(*alpha, 0.0);
+}
+
+TEST(Solve, SplitForTargetPathLength) {
+    delay_model m = delay_model::path_length();
+    // (span - a) - a = target -> a = (span - target) / 2.
+    const auto a = split_for_target(m, 10.0, 1.0, 1.0, 4.0);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_DOUBLE_EQ(*a, 3.0);
+}
+
+// Property sweep: the split equation stays exact across magnitudes,
+// including the real benchmark technology scale.
+class SplitProperty
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(SplitProperty, RoundTrip) {
+    const auto [span, ca_ff, frac] = GetParam();
+    delay_model m = delay_model::elmore(classic_clock_tech());
+    const double ca = ca_ff * 1e-15, cb = 33e-15;
+    const double alpha_true = frac * span;
+    const double target = delay_diff(m, span, ca, cb, alpha_true);
+    const auto alpha = split_for_target(m, span, ca, cb, target);
+    ASSERT_TRUE(alpha.has_value());
+    EXPECT_NEAR(*alpha, alpha_true, 1e-6 * std::max(1.0, span));
+    EXPECT_NEAR(delay_diff(m, span, ca, cb, *alpha), target,
+                1e-18 + 1e-9 * std::fabs(target));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SplitProperty,
+    ::testing::Combine(::testing::Values(1.0, 500.0, 20000.0, 90000.0),
+                       ::testing::Values(5.0, 50.0, 4000.0),
+                       ::testing::Values(0.0, 0.3, 0.5, 1.0)));
+
+}  // namespace
+}  // namespace astclk::rc
