@@ -12,11 +12,50 @@
 #include "gen/instance_gen.hpp"
 #include "io/table.hpp"
 
+#include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
 namespace astclk::bench {
+
+/// One machine-readable measurement row, serialised to the BENCH_*.json
+/// files that track the perf trajectory across PRs.
+struct perf_record {
+    std::string bench;    ///< benchmark id, e.g. "engine_reduce"
+    std::string backend;  ///< NN backend tag: "grid" | "linear"
+    int n = 0;            ///< instance size (sinks)
+    double seconds = 0.0; ///< best wall-clock of the repetitions
+    int merges = 0;
+    double merges_per_sec = 0.0;
+    double wirelength = 0.0;
+};
+
+/// Write records as a JSON array (no external deps; fixed schema).
+/// Returns false when the file could not be opened or a write failed —
+/// callers must not report success on a stale/missing file.
+[[nodiscard]] inline bool write_perf_json(
+    const std::string& path, const std::vector<perf_record>& records) {
+    std::ofstream out(path);
+    if (!out) return false;
+    // Full double precision: the file exists to diff runs across PRs, so
+    // small drifts must not vanish into stream-default rounding.
+    out.precision(std::numeric_limits<double>::max_digits10);
+    out << "[\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const perf_record& r = records[i];
+        out << "  {\"bench\": \"" << r.bench << "\", \"backend\": \""
+            << r.backend << "\", \"n\": " << r.n << ", \"seconds\": "
+            << r.seconds << ", \"merges\": " << r.merges
+            << ", \"merges_per_sec\": " << r.merges_per_sec
+            << ", \"wirelength\": " << r.wirelength << "}"
+            << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    out.flush();
+    return out.good();
+}
 
 /// The group counts evaluated in Tables I and II.
 inline const std::vector<int> kpaper_group_counts{4, 6, 8, 10};

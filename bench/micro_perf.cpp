@@ -1,90 +1,138 @@
-// Google-benchmark micro/meso benchmarks: the geometry kernel, the merge
-// solver, and full routes across instance sizes (the CPU columns of
-// Tables I/II in miniature).
+// Merge-engine scaling benchmark: wall-clock of the bottom-up reduce and
+// of full AST-DME routes across instance sizes, for both nearest-neighbour
+// backends (grid vs the linear verification scan).
+//
+// Emits a human table on stdout and a machine-readable
+// BENCH_micro_perf.json (per-n wall-clock, merges/sec, backend tag) so
+// future PRs can track the perf trajectory.
+//
+// Usage:  micro_perf [--quick] [output.json]
+//   --quick   cap the sweep at n=512 (CI smoke)
 
-#include "core/merge_solver.hpp"
-#include "core/router.hpp"
-#include "gen/grouping.hpp"
-#include "gen/instance_gen.hpp"
-#include "geom/octagon.hpp"
+#include "common.hpp"
+#include "core/router_detail.hpp"
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstring>
+#include <limits>
 
 namespace {
 
 using namespace astclk;
 
-void bm_tilted_distance(benchmark::State& state) {
-    const geom::tilted_rect a{geom::interval{0, 10}, geom::interval{5, 9}};
-    const geom::tilted_rect b{geom::interval{40, 44}, geom::interval{-3, 2}};
-    for (auto _ : state) benchmark::DoNotOptimize(a.distance(b));
+double now_diff(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
 }
-BENCHMARK(bm_tilted_distance);
 
-void bm_merging_segment(benchmark::State& state) {
-    const geom::tilted_rect a{geom::interval{0, 10}, geom::interval{5, 9}};
-    const geom::tilted_rect b{geom::interval{40, 44}, geom::interval{-3, 2}};
-    const double d = a.distance(b);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(geom::merging_segment(a, b, 0.3 * d, 0.7 * d));
+const char* tag(core::nn_backend be) {
+    return be == core::nn_backend::grid ? "grid" : "linear";
 }
-BENCHMARK(bm_merging_segment);
 
-void bm_sdr_octagon(benchmark::State& state) {
-    const geom::tilted_rect a{geom::interval{0, 10}, geom::interval{5, 9}};
-    const geom::tilted_rect b{geom::interval{40, 44}, geom::interval{-3, 2}};
-    for (auto _ : state)
-        benchmark::DoNotOptimize(geom::shortest_distance_region(a, b));
-}
-BENCHMARK(bm_sdr_octagon);
-
-void bm_merge_plan(benchmark::State& state) {
-    topo::instance inst;
-    inst.num_groups = 2;
-    inst.sinks = {{{0, 0}, 10e-15, 0}, {{5000, 2000}, 25e-15, 1}};
-    topo::clock_tree t;
-    const auto a = t.add_leaf(inst, 0);
-    const auto b = t.add_leaf(inst, 1);
-    core::merge_solver solver(rc::delay_model::elmore(),
-                              core::skew_spec::zero());
-    for (auto _ : state) benchmark::DoNotOptimize(solver.plan(t, a, b));
-}
-BENCHMARK(bm_merge_plan);
-
-void bm_route(benchmark::State& state, core::ast_mode mode, bool grouped) {
-    gen::instance_spec spec = gen::paper_spec("r1");
-    spec.num_sinks = static_cast<int>(state.range(0));
-    auto inst = gen::generate(spec);
-    if (grouped) gen::apply_intermingled_groups(inst, 6, 1);
-    for (auto _ : state) {
-        auto r = core::route_ast_dme(inst, core::skew_spec::zero(), {}, mode);
-        benchmark::DoNotOptimize(r.wirelength);
+/// Time one engine.reduce run (the optimised subsystem in isolation).
+bench::perf_record bench_reduce(const topo::instance& inst,
+                                core::nn_backend be, int reps) {
+    core::engine_options eopt;
+    eopt.backend = be;
+    const core::merge_solver solver(rc::delay_model::elmore(),
+                                    core::skew_spec::zero());
+    const core::bottom_up_engine engine(solver, eopt);
+    bench::perf_record rec;
+    rec.bench = "engine_reduce";
+    rec.backend = tag(be);
+    rec.n = static_cast<int>(inst.sinks.size());
+    rec.seconds = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < reps; ++rep) {
+        topo::clock_tree t;
+        auto roots = core::detail::make_leaves(inst, t, false);
+        core::engine_stats st;
+        const auto t0 = std::chrono::steady_clock::now();
+        engine.reduce(t, std::move(roots), &st);
+        rec.seconds = std::min(rec.seconds, now_diff(t0));
+        rec.merges = st.merges;
     }
-    state.SetComplexityN(state.range(0));
+    rec.merges_per_sec =
+        rec.seconds > 0.0 ? static_cast<double>(rec.merges) / rec.seconds : 0.0;
+    return rec;
 }
 
-void bm_route_zst(benchmark::State& state) {
-    gen::instance_spec spec = gen::paper_spec("r1");
-    spec.num_sinks = static_cast<int>(state.range(0));
-    const auto inst = gen::generate(spec);
-    for (auto _ : state) {
-        auto r = core::route_zst_dme(inst);
-        benchmark::DoNotOptimize(r.wirelength);
+/// Time a full windowed AST-DME route (embedding included).
+bench::perf_record bench_route(const topo::instance& inst,
+                               core::nn_backend be, int reps) {
+    core::router_options opt;
+    opt.engine.backend = be;
+    bench::perf_record rec;
+    rec.bench = "route_ast_windowed";
+    rec.backend = tag(be);
+    rec.n = static_cast<int>(inst.sinks.size());
+    rec.seconds = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < reps; ++rep) {
+        const auto r = core::route_ast_dme(inst, core::skew_spec::zero(), opt,
+                                           core::ast_mode::windowed);
+        rec.seconds = std::min(rec.seconds, r.cpu_seconds);
+        rec.merges = r.stats.merges;
+        rec.wirelength = r.wirelength;
     }
-    state.SetComplexityN(state.range(0));
+    rec.merges_per_sec =
+        rec.seconds > 0.0 ? static_cast<double>(rec.merges) / rec.seconds : 0.0;
+    return rec;
 }
-BENCHMARK(bm_route_zst)->Arg(64)->Arg(256)->Arg(1024)->Complexity();
-
-void bm_route_ast_exact(benchmark::State& state) {
-    bm_route(state, core::ast_mode::exact_ledger, true);
-}
-BENCHMARK(bm_route_ast_exact)->Arg(64)->Arg(256)->Arg(1024)->Complexity();
-
-void bm_route_ast_windowed(benchmark::State& state) {
-    bm_route(state, core::ast_mode::windowed, true);
-}
-BENCHMARK(bm_route_ast_windowed)->Arg(64)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    bool quick = false;
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (argv[i][0] == '-' || !out_path.empty()) {
+            std::cerr << "usage: " << argv[0] << " [--quick] [output.json]\n";
+            return 2;
+        } else {
+            out_path = argv[i];
+        }
+    }
+    if (out_path.empty()) out_path = "BENCH_micro_perf.json";
+
+    std::vector<int> sizes{64, 128, 256, 512, 1024, 2048, 3101};
+    if (quick) sizes = {64, 128, 256, 512};
+
+    std::cout << "micro_perf — merge-engine scaling (grid vs linear NN "
+                 "backend)\n\n";
+    io::table t({"Bench", "n", "Backend", "Wall(s)", "Merges/s", "Speedup"});
+    std::vector<bench::perf_record> records;
+
+    for (int n : sizes) {
+        gen::instance_spec spec = gen::paper_spec("r1");
+        spec.num_sinks = n;
+        auto inst = gen::generate(spec);
+        gen::apply_intermingled_groups(inst, 6, 1);
+        const int reps = n >= 2048 ? 2 : 3;
+
+        for (auto mk : {&bench_reduce, &bench_route}) {
+            const auto grid = mk(inst, core::nn_backend::grid, reps);
+            const auto lin = mk(inst, core::nn_backend::linear, reps);
+            const double speedup =
+                grid.seconds > 0.0 ? lin.seconds / grid.seconds : 0.0;
+            t.add_row({grid.bench, std::to_string(grid.n), grid.backend,
+                       io::table::fixed(grid.seconds, 4),
+                       io::table::integer(grid.merges_per_sec),
+                       io::table::fixed(speedup, 2) + "x"});
+            t.add_row({lin.bench, std::to_string(lin.n), lin.backend,
+                       io::table::fixed(lin.seconds, 4),
+                       io::table::integer(lin.merges_per_sec), "1.00x"});
+            records.push_back(grid);
+            records.push_back(lin);
+        }
+    }
+
+    t.print(std::cout);
+    std::cout << "\n";
+    if (!bench::write_perf_json(out_path, records)) {
+        std::cerr << "error: could not write " << out_path << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << out_path << "\n";
+    return 0;
+}

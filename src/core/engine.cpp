@@ -3,17 +3,26 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <queue>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 namespace astclk::core {
 
 namespace {
-constexpr double kcost_slack = 1e-9;  // layout units
-}
 
-void bottom_up_engine::note_plan(const merge_plan& p, double dist,
-                                 engine_stats& st) const {
+constexpr double kcost_slack = 1e-9;  // layout units
+
+/// Inlined ban predicate: no std::function on the hot path.
+struct ban_table {
+    const std::unordered_set<std::uint64_t>* bans;
+    [[nodiscard]] bool operator()(std::uint64_t k) const {
+        return bans->count(k) != 0;
+    }
+};
+
+void note_plan(const merge_plan& p, double dist, engine_stats& st) {
     ++st.merges;
     if (p.shared_groups == 0)
         ++st.disjoint_merges;
@@ -32,152 +41,328 @@ void bottom_up_engine::note_plan(const merge_plan& p, double dist,
     }
 }
 
-topo::node_id bottom_up_engine::reduce(topo::clock_tree& t,
-                                       std::vector<topo::node_id> roots,
-                                       engine_stats* stats) const {
-    assert(!roots.empty());
-    engine_stats local;
-    engine_stats& st = stats ? *stats : local;
-    if (roots.size() == 1) return roots.front();
-    if (opt_.order == merge_order::multi_merge)
-        return reduce_multi(t, std::move(roots), st);
-    return reduce_nearest(t, std::move(roots), st);
+/// Globally nearest active pair ignoring bans — the forced-merge fallback.
+/// Deliberately the seed's literal O(n^2) scan (slot-major, first strictly
+/// smaller distance wins): forced merges are rare endgame events with small
+/// active sets, and keeping the scan verbatim preserves bit-identical
+/// results with the pre-grid engine.
+template <class Index>
+std::pair<topo::node_id, topo::node_id> forced_nearest_pair(
+    const topo::clock_tree& t, const Index& idx) {
+    topo::node_id ba = topo::knull_node, bb = topo::knull_node;
+    double bd = std::numeric_limits<double>::infinity();
+    for (topo::node_id i : idx.active()) {
+        for (topo::node_id j : idx.active()) {
+            if (j <= i) continue;
+            const double d = t.node(i).arc.distance(t.node(j).arc);
+            if (d < bd) {
+                bd = d;
+                ba = i;
+                bb = j;
+            }
+        }
+    }
+    return {ba, bb};
 }
 
-topo::node_id bottom_up_engine::reduce_nearest(topo::clock_tree& t,
-                                               std::vector<topo::node_id> roots,
-                                               engine_stats& st) const {
-    nn_index idx(&t);
-    for (topo::node_id r : roots) idx.insert(r);
+/// One nearest-pair reduction run: the heap-driven selection loop with
+/// incremental neighbour maintenance, templated over the NN backend so the
+/// ban predicate and distance loops fully inline for both.
+template <class Index>
+class nearest_reducer {
+  public:
+    nearest_reducer(const merge_solver& solver, const engine_options& opt,
+                    topo::clock_tree& t, const std::vector<topo::node_id>& roots,
+                    engine_stats& st)
+        : solver_(solver), opt_(opt), t_(t), st_(st), idx_(&t, roots) {
+        grow(static_cast<topo::node_id>(t_.size()) - 1);
+        for (topo::node_id r : roots) recompute(r);
+    }
 
-    std::unordered_set<std::uint64_t> banned;
-    std::unordered_map<std::uint64_t, double> cost_cache;
-    std::unordered_map<topo::node_id,
-                       std::optional<std::pair<topo::node_id, double>>>
-        nn_of;
-    const auto banned_fn = [&](std::uint64_t k) { return banned.count(k) > 0; };
-    const auto recompute = [&](topo::node_id i) {
-        nn_of[i] = idx.nearest(i, banned_fn);
-    };
-    for (topo::node_id r : roots) recompute(r);
-
-    while (idx.size() > 1) {
-        // Select the minimum-key candidate (cached true cost wins over the
-        // distance lower bound when known).
-        topo::node_id best_a = topo::knull_node, best_b = topo::knull_node;
-        double best_key = std::numeric_limits<double>::infinity();
-        double best_dist = 0.0;
-        bool best_cached = false;
-        for (topo::node_id i : idx.active()) {
-            const auto& nn = nn_of[i];
-            if (!nn.has_value()) continue;
-            const auto [j, d] = *nn;
-            double key = d;
-            bool cached = false;
-            if (auto it = cost_cache.find(pair_key(i, j));
-                it != cost_cache.end()) {
-                key = it->second;
-                cached = true;
-            }
-            if (key < best_key) {
-                best_key = key;
-                best_a = i;
-                best_b = j;
-                best_dist = d;
-                best_cached = cached;
-            }
-        }
-
-        if (best_a == topo::knull_node) {
-            // Every remaining pair is banned: forced minimax merge of the
-            // globally nearest pair (keeps the algorithm total; the residual
-            // violation is recorded).
-            double bd = std::numeric_limits<double>::infinity();
-            for (topo::node_id i : idx.active()) {
-                for (topo::node_id j : idx.active()) {
-                    if (j <= i) continue;
-                    const double d = t.node(i).arc.distance(t.node(j).arc);
-                    if (d < bd) {
-                        bd = d;
-                        best_a = i;
-                        best_b = j;
-                    }
-                }
-            }
-            const merge_plan p = solver_.plan_forced(t, best_a, best_b);
-            const topo::node_id c = solver_.commit(t, best_a, best_b, p);
-            note_plan(p, bd, st);
-            if (p.violation <= 0.0) ++st.forced_merges;  // count the fallback
-            idx.erase(best_a);
-            idx.erase(best_b);
-            idx.insert(c);
-            nn_of.erase(best_a);
-            nn_of.erase(best_b);
-            for (topo::node_id i : idx.active()) {
-                if (i != c) recompute(i);
-            }
-            recompute(c);
-            continue;
-        }
-
-        auto plan = solver_.plan(t, best_a, best_b);
-        if (!plan.has_value()) {
-            banned.insert(pair_key(best_a, best_b));
-            ++st.rejected_pairs;
-            recompute(best_a);
-            recompute(best_b);
-            continue;
-        }
-        if (opt_.true_cost_ordering && !best_cached &&
-            plan->order_cost > best_key + kcost_slack) {
-            // Lazy re-key: the true cost (snaking and any deferral bias
-            // included) exceeds the distance bound — another pair may now
-            // be cheaper.
-            cost_cache[pair_key(best_a, best_b)] = plan->order_cost;
-            continue;
-        }
-
-        const topo::node_id c = solver_.commit(t, best_a, best_b, *plan);
-        note_plan(*plan, best_dist, st);
-        idx.erase(best_a);
-        idx.erase(best_b);
-        nn_of.erase(best_a);
-        nn_of.erase(best_b);
-        idx.insert(c);
-        // Refresh stale entries and fold the new root into existing ones.
-        for (topo::node_id i : idx.active()) {
-            if (i == c) continue;
-            auto& nn = nn_of[i];
-            if (nn.has_value() &&
-                (nn->first == best_a || nn->first == best_b)) {
-                recompute(i);
+    topo::node_id run() {
+        while (idx_.size() > 1) {
+            const auto popped = pop_cheapest();
+            if (!popped.has_value()) {
+                forced_step();
                 continue;
             }
-            const double dc = t.node(i).arc.distance(t.node(c).arc);
-            if (!nn.has_value() || dc < nn->second)
-                nn = std::make_pair(c, dc);
+            const auto [key, dist, a, b, gen, cached] = *popped;
+            (void)gen;
+            auto plan = solver_.plan(t_, a, b);
+            if (!plan.has_value()) {
+                banned_.insert(pair_key(a, b));
+                ++st_.rejected_pairs;
+                recompute(a);
+                recompute(b);
+                continue;
+            }
+            if (opt_.true_cost_ordering && !cached &&
+                plan->order_cost > key + kcost_slack) {
+                // Lazy re-key: the true cost (snaking and any deferral bias
+                // included) exceeds the distance bound — another pair may
+                // now be cheaper.
+                cost_cache_.store(pair_key(a, b), plan->order_cost);
+                heap_.push({plan->order_cost, dist, a, b, gen_at(a), true});
+                continue;
+            }
+            const topo::node_id c = solver_.commit(t_, a, b, *plan);
+            note_plan(*plan, dist, st_);
+            integrate(a, b, c);
         }
+        return idx_.active().front();
+    }
+
+  private:
+    struct sel_entry {
+        double key;   ///< ordering key: distance lower bound or cached cost
+        double dist;  ///< arc distance (stats baseline)
+        topo::node_id a, b;
+        std::uint32_t gen;  ///< gen_[a] at push; mismatch = stale
+        bool cached;        ///< key is the true plan cost
+    };
+    struct sel_order {  // min-heap on (key, a, b)
+        bool operator()(const sel_entry& x, const sel_entry& y) const {
+            if (x.key != y.key) return x.key > y.key;
+            if (x.a != y.a) return x.a > y.a;
+            return x.b > y.b;
+        }
+    };
+    struct rad_entry {
+        double dist;
+        topo::node_id a;
+        std::uint32_t gen;
+    };
+    struct rad_order {  // max-heap on dist
+        bool operator()(const rad_entry& x, const rad_entry& y) const {
+            return x.dist < y.dist;
+        }
+    };
+
+    void grow(topo::node_id max_id) {
+        const auto need = static_cast<std::size_t>(max_id) + 1;
+        if (nn_to_.size() >= need) return;
+        nn_to_.resize(need, topo::knull_node);
+        nn_dist_.resize(need, 0.0);
+        gen_.resize(need, 0);
+        rev_.resize(need);
+    }
+
+    [[nodiscard]] std::uint32_t gen_at(topo::node_id i) const {
+        return gen_[static_cast<std::size_t>(i)];
+    }
+
+    /// Point i's nearest-neighbour record at (j, d); maintains the reverse
+    /// lists, the generation counter, and both heaps.  j == knull means
+    /// "no eligible partner" (all banned) and parks i in the starved set.
+    void set_nn(topo::node_id i, topo::node_id j, double d) {
+        const auto si = static_cast<std::size_t>(i);
+        const topo::node_id old = nn_to_[si];
+        if (old != topo::knull_node) {
+            auto& r = rev_[static_cast<std::size_t>(old)];
+            r.erase(std::find(r.begin(), r.end(), i));
+        }
+        nn_to_[si] = j;
+        nn_dist_[si] = d;
+        ++gen_[si];
+        if (j == topo::knull_node) {
+            starved_.insert(i);
+            return;
+        }
+        starved_.erase(i);
+        rev_[static_cast<std::size_t>(j)].push_back(i);
+        const auto cv = cost_cache_.lookup(pair_key(i, j));
+        heap_.push({cv.value_or(d), d, i, j, gen_[si], cv.has_value()});
+        radius_.push({d, i, gen_[si]});
+    }
+
+    void recompute(topo::node_id i) {
+        const auto n = idx_.nearest_if(i, ban_table{&banned_});
+        if (n.has_value())
+            set_nn(i, n->first, n->second);
+        else
+            set_nn(i, topo::knull_node, 0.0);
+    }
+
+    /// Pop one live entry off the heap: skips superseded generations and
+    /// lazily re-keys entries whose cached true cost exceeds their key.
+    std::optional<sel_entry> pop_valid() {
+        while (!heap_.empty()) {
+            const sel_entry e = heap_.top();
+            heap_.pop();
+            if (e.gen != gen_at(e.a)) continue;  // superseded or erased
+            if (!e.cached) {
+                if (const auto cv = cost_cache_.lookup(pair_key(e.a, e.b));
+                    cv.has_value() && *cv > e.key) {
+                    heap_.push({*cv, e.dist, e.a, e.b, e.gen, true});
+                    continue;
+                }
+            }
+            return e;
+        }
+        return std::nullopt;
+    }
+
+    /// Pop the cheapest live candidate; nullopt when every remaining pair
+    /// is banned (the forced-merge endgame).  Equal-key groups are drained
+    /// and resolved by the owner's active-slot order — exactly the
+    /// tie-break of the former O(n) selection sweep, so the heap engine
+    /// reproduces its trees bit-for-bit.  Losers go straight back on the
+    /// heap (generations untouched), so the drain is O(group * log n).
+    std::optional<sel_entry> pop_cheapest() {
+        auto best = pop_valid();
+        if (!best.has_value()) return std::nullopt;
+        std::vector<sel_entry> losers;
+        while (!heap_.empty() && heap_.top().key == best->key) {
+            const sel_entry e = heap_.top();
+            heap_.pop();
+            if (e.gen != gen_at(e.a)) continue;
+            if (!e.cached) {
+                if (const auto cv = cost_cache_.lookup(pair_key(e.a, e.b));
+                    cv.has_value() && *cv > e.key) {
+                    heap_.push({*cv, e.dist, e.a, e.b, e.gen, true});
+                    continue;  // re-keyed above the group; out of contention
+                }
+            }
+            if (idx_.slot_of(e.a) < idx_.slot_of(best->a)) {
+                losers.push_back(*best);
+                best = e;
+            } else {
+                losers.push_back(e);
+            }
+        }
+        for (const sel_entry& l : losers) heap_.push(l);
+        return best;
+    }
+
+    /// Current nearest-neighbour influence radius: the largest up-to-date
+    /// nn distance over active roots (stale heap tops are discarded; any
+    /// survivor only overestimates, which is admissible).
+    double current_radius() {
+        while (!radius_.empty()) {
+            const rad_entry e = radius_.top();
+            if (e.gen == gen_at(e.a)) return e.dist;
+            radius_.pop();
+        }
+        return 0.0;
+    }
+
+    void erase_node(topo::node_id i) {
+        idx_.erase(i);
+        const auto si = static_cast<std::size_t>(i);
+        const topo::node_id old = nn_to_[si];
+        if (old != topo::knull_node) {
+            auto& r = rev_[static_cast<std::size_t>(old)];
+            r.erase(std::find(r.begin(), r.end(), i));
+        }
+        nn_to_[si] = topo::knull_node;
+        ++gen_[si];  // invalidates every heap entry owned by i
+        starved_.erase(i);
+    }
+
+    /// Post-commit maintenance: merged pair out, new root in, and only the
+    /// affected neighbourhoods touched —
+    ///   * roots whose NN was a or b (reverse lists): full recompute;
+    ///   * starved roots: the new root is their only unbanned partner;
+    ///   * roots within the influence radius of c's arc: fold c in when
+    ///     strictly closer (ties keep the older, smaller id — exactly the
+    ///     backends' tie-break, since c has the largest id).
+    void integrate(topo::node_id a, topo::node_id b, topo::node_id c) {
+        grow(c);
+        std::vector<topo::node_id> affected;
+        for (topo::node_id i : rev_[static_cast<std::size_t>(a)])
+            if (i != b) affected.push_back(i);
+        for (topo::node_id i : rev_[static_cast<std::size_t>(b)])
+            if (i != a) affected.push_back(i);
+        erase_node(a);
+        erase_node(b);
+        rev_[static_cast<std::size_t>(a)].clear();
+        rev_[static_cast<std::size_t>(b)].clear();
+        // The affected roots' reverse-list entries died with those clears;
+        // void their records so the recompute below doesn't unlink twice.
+        for (topo::node_id i : affected)
+            nn_to_[static_cast<std::size_t>(i)] = topo::knull_node;
+        idx_.insert(c);
+        for (topo::node_id i : affected) recompute(i);
+        if (!starved_.empty()) {
+            const std::vector<topo::node_id> snapshot(starved_.begin(),
+                                                      starved_.end());
+            const geom::tilted_rect& arc_c = t_.node(c).arc;
+            for (topo::node_id i : snapshot)
+                set_nn(i, c, t_.node(i).arc.distance(arc_c));
+        }
+        const double radius = current_radius();
+        const geom::tilted_rect& arc_c = t_.node(c).arc;
+        idx_.for_each_within(arc_c, radius, [&](topo::node_id i) {
+            if (i == c) return;
+            const auto si = static_cast<std::size_t>(i);
+            if (nn_to_[si] == c) return;  // already folded (duplicate visit)
+            const double d = t_.node(i).arc.distance(arc_c);
+            if (d < nn_dist_[si]) set_nn(i, c, d);
+        });
         recompute(c);
     }
-    return idx.active().front();
+
+    /// Every remaining pair is banned: forced minimax merge of the globally
+    /// nearest pair (keeps the algorithm total; the residual violation is
+    /// recorded).
+    void forced_step() {
+        const auto [a, b] = forced_nearest_pair(t_, idx_);
+        assert(a != topo::knull_node);
+        const double bd = t_.node(a).arc.distance(t_.node(b).arc);
+        const merge_plan p = solver_.plan_forced(t_, a, b);
+        const topo::node_id c = solver_.commit(t_, a, b, p);
+        note_plan(p, bd, st_);
+        if (p.violation <= 0.0) ++st_.forced_merges;  // count the fallback
+        integrate(a, b, c);
+    }
+
+    const merge_solver& solver_;
+    const engine_options& opt_;
+    topo::clock_tree& t_;
+    engine_stats& st_;
+    Index idx_;
+
+    std::unordered_set<std::uint64_t> banned_;
+    pair_cost_cache cost_cache_;
+    std::vector<topo::node_id> nn_to_;   ///< id -> current NN (knull: none)
+    std::vector<double> nn_dist_;        ///< id -> distance to nn_to_
+    std::vector<std::uint32_t> gen_;     ///< id -> generation counter
+    std::vector<std::vector<topo::node_id>> rev_;  ///< id -> roots whose NN it is
+    std::unordered_set<topo::node_id> starved_;    ///< all partners banned
+    std::priority_queue<sel_entry, std::vector<sel_entry>, sel_order> heap_;
+    std::priority_queue<rad_entry, std::vector<rad_entry>, rad_order> radius_;
+};
+
+template <class Index>
+topo::node_id reduce_nearest_impl(const merge_solver& solver,
+                                  const engine_options& opt,
+                                  topo::clock_tree& t,
+                                  const std::vector<topo::node_id>& roots,
+                                  engine_stats& st) {
+    nearest_reducer<Index> r(solver, opt, t, roots, st);
+    return r.run();
 }
 
-topo::node_id bottom_up_engine::reduce_multi(topo::clock_tree& t,
-                                             std::vector<topo::node_id> roots,
-                                             engine_stats& st) const {
-    nn_index idx(&t);
-    for (topo::node_id r : roots) idx.insert(r);
+template <class Index>
+topo::node_id reduce_multi_impl(const merge_solver& solver,
+                                topo::clock_tree& t,
+                                const std::vector<topo::node_id>& roots,
+                                engine_stats& st) {
+    Index idx(&t, roots);
     std::unordered_set<std::uint64_t> banned;
-    const auto banned_fn = [&](std::uint64_t k) { return banned.count(k) > 0; };
+    const ban_table banned_fn{&banned};
 
     while (idx.size() > 1) {
         ++st.rounds;
         // Fresh nearest neighbours each round.
         std::unordered_map<topo::node_id, std::pair<topo::node_id, double>> nn;
+        nn.reserve(idx.size());
         for (topo::node_id i : idx.active()) {
-            if (auto n = idx.nearest(i, banned_fn)) nn[i] = *n;
+            if (auto n = idx.nearest_if(i, banned_fn)) nn[i] = *n;
         }
-        // Mutually nearest pairs, cheapest first (Edahiro's multi-merge).
+        // Mutually nearest pairs, cheapest first (Edahiro's multi-merge);
+        // full (d, a, b) ordering keeps rounds deterministic across
+        // backends and runs.
         struct cand {
             topo::node_id a, b;
             double d;
@@ -191,19 +376,23 @@ topo::node_id bottom_up_engine::reduce_multi(topo::clock_tree& t,
                 cands.push_back({i, j, d});
         }
         std::sort(cands.begin(), cands.end(),
-                  [](const cand& x, const cand& y) { return x.d < y.d; });
+                  [](const cand& x, const cand& y) {
+                      if (x.d != y.d) return x.d < y.d;
+                      if (x.a != y.a) return x.a < y.a;
+                      return x.b < y.b;
+                  });
 
         bool merged_any = false;
         std::unordered_set<topo::node_id> used;
         for (const cand& cd : cands) {
             if (used.count(cd.a) || used.count(cd.b)) continue;
-            auto plan = solver_.plan(t, cd.a, cd.b);
+            auto plan = solver.plan(t, cd.a, cd.b);
             if (!plan.has_value()) {
                 banned.insert(pair_key(cd.a, cd.b));
                 ++st.rejected_pairs;
                 continue;
             }
-            const topo::node_id c = solver_.commit(t, cd.a, cd.b, *plan);
+            const topo::node_id c = solver.commit(t, cd.a, cd.b, *plan);
             note_plan(*plan, cd.d, st);
             used.insert(cd.a);
             used.insert(cd.b);
@@ -216,27 +405,35 @@ topo::node_id bottom_up_engine::reduce_multi(topo::clock_tree& t,
 
         // No mutual pair merged this round: force progress on the globally
         // nearest (possibly banned) pair.
-        topo::node_id ba = topo::knull_node, bb = topo::knull_node;
-        double bd = std::numeric_limits<double>::infinity();
-        for (topo::node_id i : idx.active()) {
-            for (topo::node_id j : idx.active()) {
-                if (j <= i) continue;
-                const double d = t.node(i).arc.distance(t.node(j).arc);
-                if (d < bd) {
-                    bd = d;
-                    ba = i;
-                    bb = j;
-                }
-            }
-        }
-        const merge_plan p = solver_.plan_forced(t, ba, bb);
-        const topo::node_id c = solver_.commit(t, ba, bb, p);
+        const auto [ba, bb] = forced_nearest_pair(t, idx);
+        const double bd = t.node(ba).arc.distance(t.node(bb).arc);
+        const merge_plan p = solver.plan_forced(t, ba, bb);
+        const topo::node_id c = solver.commit(t, ba, bb, p);
         note_plan(p, bd, st);
         idx.erase(ba);
         idx.erase(bb);
         idx.insert(c);
     }
     return idx.active().front();
+}
+
+}  // namespace
+
+topo::node_id bottom_up_engine::reduce(topo::clock_tree& t,
+                                       std::vector<topo::node_id> roots,
+                                       engine_stats* stats) const {
+    assert(!roots.empty());
+    engine_stats local;
+    engine_stats& st = stats ? *stats : local;
+    if (roots.size() == 1) return roots.front();
+    if (opt_.order == merge_order::multi_merge) {
+        if (opt_.backend == nn_backend::linear)
+            return reduce_multi_impl<nn_index>(solver_, t, roots, st);
+        return reduce_multi_impl<grid_index>(solver_, t, roots, st);
+    }
+    if (opt_.backend == nn_backend::linear)
+        return reduce_nearest_impl<nn_index>(solver_, opt_, t, roots, st);
+    return reduce_nearest_impl<grid_index>(solver_, opt_, t, roots, st);
 }
 
 }  // namespace astclk::core

@@ -16,10 +16,26 @@
 ///   * Edahiro-style multi-merge rounds — all *mutually* nearest pairs are
 ///     merged per round, cutting nearest-neighbour recomputations.
 ///
+/// The hot path is sub-quadratic by construction:
+///   * nearest-neighbour queries go through a uniform spatial grid over the
+///     arc boxes (grid_index; ring expansion with the arc-distance lower
+///     bound), with the exact linear scan (nn_index) selectable as a
+///     verification backend via `engine_options::backend`;
+///   * the cheapest pair is popped from a global lazy-deletion min-heap
+///     keyed by the distance lower bound (re-keyed with cached true plan
+///     cost); per-node generation counters invalidate stale entries instead
+///     of rescanning the active set;
+///   * after each commit only the affected neighbourhoods are touched:
+///     roots whose nearest neighbour was one of the merged pair (tracked by
+///     reverse-NN lists) are recomputed, and the new root is folded into
+///     roots within the current nearest-neighbour influence radius — no
+///     global recompute, in the forced-merge path included.
+///
 /// Pairs whose merge is infeasible (irreconcilable multi-group conflicts,
 /// Ch. V-E) are banned and re-proposed only if nothing else remains, in
 /// which case a forced minimax merge keeps the algorithm total.
 
+#include "core/grid_index.hpp"
 #include "core/merge_solver.hpp"
 #include "core/nn_index.hpp"
 #include "topo/tree.hpp"
@@ -34,11 +50,20 @@ enum class merge_order {
     multi_merge,      ///< all mutually nearest pairs per round (V-F.1)
 };
 
+/// Nearest-neighbour backend.  Both return bit-identical answers (same
+/// deterministic id tie-breaks); `linear` is the exact-by-construction
+/// reference kept for verification and ablation.
+enum class nn_backend {
+    grid,    ///< uniform spatial grid, ring expansion (sub-quadratic)
+    linear,  ///< tuned linear scan (the seed implementation)
+};
+
 struct engine_options {
     merge_order order = merge_order::nearest_pair;
     /// Re-key popped pairs with their true plan cost before committing;
     /// disabling reverts to pure arc-distance ordering (ablation knob).
     bool true_cost_ordering = true;
+    nn_backend backend = nn_backend::grid;
 };
 
 struct engine_stats {
@@ -69,15 +94,6 @@ class bottom_up_engine {
                          engine_stats* stats = nullptr) const;
 
   private:
-    topo::node_id reduce_nearest(topo::clock_tree& t,
-                                 std::vector<topo::node_id> roots,
-                                 engine_stats& st) const;
-    topo::node_id reduce_multi(topo::clock_tree& t,
-                               std::vector<topo::node_id> roots,
-                               engine_stats& st) const;
-
-    void note_plan(const merge_plan& p, double dist, engine_stats& st) const;
-
     merge_solver solver_;
     engine_options opt_;
 };

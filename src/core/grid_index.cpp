@@ -1,0 +1,89 @@
+#include "core/grid_index.hpp"
+
+#include <cmath>
+
+namespace astclk::core {
+
+grid_index::grid_index(const topo::clock_tree* tree,
+                       const std::vector<topo::node_id>& roots)
+    : tree_(tree) {
+    // Bounds over the initial root arcs.  Future merging segments can
+    // escape these bounds in the non-binding axis; range_of clamps them
+    // into border cells, which keeps the ring lower bound admissible (see
+    // the header).
+    geom::interval bu = geom::interval::empty_set();
+    geom::interval bv = geom::interval::empty_set();
+    for (topo::node_id r : roots) {
+        const geom::tilted_rect& a = tree_->node(r).arc;
+        bu = bu.hull(a.u());
+        bv = bv.hull(a.v());
+    }
+    if (bu.empty()) bu = geom::interval::at(0.0);
+    if (bv.empty()) bv = geom::interval::at(0.0);
+    u_lo_ = bu.lo;
+    v_lo_ = bv.lo;
+
+    // ~1 expected root per cell: ceil(sqrt(n)) cells per axis over the
+    // larger extent, square cells so the ring lower bound holds per-axis.
+    const double extent = std::max(bu.length(), bv.length());
+    const int target =
+        std::max(1, static_cast<int>(std::ceil(
+                        std::sqrt(static_cast<double>(roots.size())))));
+    if (extent <= 0.0) {
+        cell_ = 1.0;
+        nu_ = nv_ = 1;
+    } else {
+        cell_ = extent / target;
+        nu_ = std::max(1, static_cast<int>(std::floor(bu.length() / cell_)) + 1);
+        nv_ = std::max(1, static_cast<int>(std::floor(bv.length() / cell_)) + 1);
+    }
+    inv_cell_ = 1.0 / cell_;
+    cells_.assign(static_cast<std::size_t>(nu_) * static_cast<std::size_t>(nv_),
+                  {});
+
+    for (topo::node_id r : roots) insert(r);
+}
+
+grid_index::cell_range grid_index::range_of(const geom::tilted_rect& r) const {
+    cell_range c;
+    c.u0 = clamp_u(static_cast<int>(std::floor((r.u().lo - u_lo_) * inv_cell_)));
+    c.u1 = clamp_u(static_cast<int>(std::floor((r.u().hi - u_lo_) * inv_cell_)));
+    c.v0 = clamp_v(static_cast<int>(std::floor((r.v().lo - v_lo_) * inv_cell_)));
+    c.v1 = clamp_v(static_cast<int>(std::floor((r.v().hi - v_lo_) * inv_cell_)));
+    return c;
+}
+
+int grid_index::max_ring_from(const cell_range& q) const {
+    return std::max(std::max(q.u0, nu_ - 1 - q.u1),
+                    std::max(q.v0, nv_ - 1 - q.v1));
+}
+
+void grid_index::insert(topo::node_id id) {
+    set_.insert(id);
+    const auto i = static_cast<std::size_t>(id);
+    if (i >= span_.size()) span_.resize(i + 1);
+    const cell_range c = range_of(tree_->node(id).arc);
+    span_[i] = c;
+    for (int cv = c.v0; cv <= c.v1; ++cv)
+        for (int cu = c.u0; cu <= c.u1; ++cu)
+            cells_[cell_at(cu, cv)].push_back(id);
+}
+
+void grid_index::erase(topo::node_id id) {
+    set_.erase(id);
+    const auto i = static_cast<std::size_t>(id);
+    const cell_range& c = span_[i];
+    for (int cv = c.v0; cv <= c.v1; ++cv)
+        for (int cu = c.u0; cu <= c.u1; ++cu) {
+            auto& cell = cells_[cell_at(cu, cv)];
+            for (std::size_t k = 0; k < cell.size(); ++k) {
+                if (cell[k] == id) {
+                    cell[k] = cell.back();
+                    cell.pop_back();
+                    break;
+                }
+            }
+        }
+}
+
+}  // namespace astclk::core

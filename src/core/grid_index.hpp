@@ -1,0 +1,168 @@
+#pragma once
+
+/// \file grid_index.hpp
+/// Uniform spatial grid nearest-neighbour backend over active subtree
+/// roots — the sub-quadratic replacement for nn_index's linear scan.
+///
+/// Arcs are tilted_rects: axis-aligned boxes in tilted (u, v) space whose
+/// pairwise distance is the L-infinity gap — so a uniform grid over (u, v)
+/// prunes exactly the metric the merge engine orders by.  Each active root
+/// is registered in every cell its arc's (u, v) box overlaps.
+///
+/// The grid is sized from the initial roots, but committed merging
+/// segments can escape the children's hull in the non-binding axis
+/// (A.expanded(alpha) ∩ B.expanded(beta) widens where the gap is not the
+/// distance), so later arcs may lie partly outside the initial bounding
+/// box.  Out-of-range coordinates are clamped into the border cells, and
+/// that clamping is load-bearing *and* sound: the coordinate -> cell map
+/// with clamping is monotone and 1-Lipschitz (|cell(x) - cell(q)| <=
+/// |x - q| / cell + 1 still holds after clamping both sides), so a
+/// candidate registered at Chebyshev cell-distance r from the query's
+/// covered range is at true arc distance >= (r-1) * cell regardless of
+/// clamping.  Do not remove the clamps on the strength of a hull
+/// argument.
+///
+/// `nearest_if` runs a ring (spiral) expansion outward from the query
+/// arc's covered cell range, with that (r-1) * cell admissible lower
+/// bound stopping the search as soon as the next ring cannot beat (or
+/// tie) the best candidate found.  Because arcs are registered in *every*
+/// overlapped cell, a candidate is always discovered at the ring of its
+/// closest cell.  Rings are scanned to `lb <= best` (not `<`) so
+/// equal-distance candidates in farther rings still participate in the
+/// deterministic `other < best` tie-break — the grid returns
+/// bit-identical answers to nn_index.
+///
+/// Cell size is chosen for ~O(1) expected occupancy: the bounding extent
+/// divided by ceil(sqrt(n)) cells per axis.
+
+#include "core/nn_index.hpp"
+#include "topo/tree.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+namespace astclk::core {
+
+class grid_index {
+  public:
+    /// Build over the given roots: bounds from their arcs, then insert all.
+    grid_index(const topo::clock_tree* tree,
+               const std::vector<topo::node_id>& roots);
+
+    void insert(topo::node_id id);
+    void erase(topo::node_id id);
+
+    [[nodiscard]] const std::vector<topo::node_id>& active() const {
+        return set_.items();
+    }
+    [[nodiscard]] std::size_t size() const { return set_.size(); }
+
+    /// Slot of an active id in `active()`; identical contract to
+    /// nn_index::slot_of (both backends share the active_set bookkeeping).
+    [[nodiscard]] std::int32_t slot_of(topo::node_id id) const {
+        return set_.slot_of(id);
+    }
+
+    /// Nearest active root to `id` by arc distance, skipping `id` itself
+    /// and banned partners; identical contract (including id tie-breaks) to
+    /// nn_index::nearest_if.
+    template <class Banned>
+    [[nodiscard]] std::optional<std::pair<topo::node_id, double>> nearest_if(
+        topo::node_id id, Banned banned) const {
+        const geom::tilted_rect& arc = tree_->node(id).arc;
+        const cell_range q = range_of(arc);
+        topo::node_id best = topo::knull_node;
+        double best_d = std::numeric_limits<double>::infinity();
+        const auto consider = [&](topo::node_id other) {
+            if (other == id) return;
+            if (banned(pair_key(id, other))) return;
+            const double d = arc.distance(tree_->node(other).arc);
+            if (d < best_d || (d == best_d && other < best)) {
+                best_d = d;
+                best = other;
+            }
+        };
+        const int max_ring = max_ring_from(q);
+        for (int r = 0; r <= max_ring; ++r) {
+            if (best != topo::knull_node &&
+                static_cast<double>(r - 1) * cell_ > best_d)
+                break;  // ring lower bound beats every remaining candidate
+            visit_ring(q, r, consider);
+        }
+        if (best == topo::knull_node) return std::nullopt;
+        return std::make_pair(best, best_d);
+    }
+
+    /// Invoke `fn(id)` for every active root registered in a cell within
+    /// `radius` of `rect`'s covered range — a superset of the roots whose
+    /// arc lies within `radius` of `rect`.  Ids touching several cells are
+    /// reported once per cell; callers must be idempotent.
+    template <class Fn>
+    void for_each_within(const geom::tilted_rect& rect, double radius,
+                         Fn fn) const {
+        const cell_range q = range_of(rect.expanded(std::max(radius, 0.0)));
+        for (int cv = q.v0; cv <= q.v1; ++cv)
+            for (int cu = q.u0; cu <= q.u1; ++cu)
+                for (topo::node_id id : cells_[cell_at(cu, cv)]) fn(id);
+    }
+
+  private:
+    struct cell_range {
+        int u0 = 0, u1 = 0, v0 = 0, v1 = 0;
+    };
+
+    [[nodiscard]] std::size_t cell_at(int cu, int cv) const {
+        return static_cast<std::size_t>(cv) * static_cast<std::size_t>(nu_) +
+               static_cast<std::size_t>(cu);
+    }
+    [[nodiscard]] int clamp_u(int c) const {
+        return std::clamp(c, 0, nu_ - 1);
+    }
+    [[nodiscard]] int clamp_v(int c) const {
+        return std::clamp(c, 0, nv_ - 1);
+    }
+    [[nodiscard]] cell_range range_of(const geom::tilted_rect& r) const;
+    [[nodiscard]] int max_ring_from(const cell_range& q) const;
+
+    /// Apply `fn` to every candidate in the cells at Chebyshev cell
+    /// distance exactly `r` from range `q` (ring 0 is the range itself).
+    template <class Fn>
+    void visit_ring(const cell_range& q, int r, Fn fn) const {
+        const int u0 = q.u0 - r, u1 = q.u1 + r;
+        const int v0 = q.v0 - r, v1 = q.v1 + r;
+        const auto visit_row = [&](int cv, int a, int b) {
+            if (cv < 0 || cv >= nv_) return;
+            a = clamp_u(a);
+            b = clamp_u(b);
+            for (int cu = a; cu <= b; ++cu)
+                for (topo::node_id id : cells_[cell_at(cu, cv)]) fn(id);
+        };
+        if (r == 0) {
+            for (int cv = v0; cv <= v1; ++cv) visit_row(cv, u0, u1);
+            return;
+        }
+        visit_row(v0, u0, u1);  // bottom edge
+        visit_row(v1, u0, u1);  // top edge
+        for (int cv = v0 + 1; cv <= v1 - 1; ++cv) {
+            if (cv < 0 || cv >= nv_) continue;
+            if (u0 >= 0)
+                for (topo::node_id id : cells_[cell_at(u0, cv)]) fn(id);
+            if (u1 < nu_)
+                for (topo::node_id id : cells_[cell_at(u1, cv)]) fn(id);
+        }
+    }
+
+    const topo::clock_tree* tree_;
+    active_set set_;
+    std::vector<cell_range> span_;  ///< id -> registered cell range
+    std::vector<std::vector<topo::node_id>> cells_;
+    double u_lo_ = 0.0, v_lo_ = 0.0;  ///< grid origin in tilted space
+    double cell_ = 1.0;               ///< cell side, tilted units
+    double inv_cell_ = 1.0;
+    int nu_ = 1, nv_ = 1;
+};
+
+}  // namespace astclk::core

@@ -33,10 +33,36 @@
 #include "topo/group_map.hpp"
 #include "topo/tree.hpp"
 
+#include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 namespace astclk::core {
+
+/// Memo of true plan order-costs keyed by symmetric pair key (see
+/// pair_key in nn_index.hpp).  The engine's lazy re-keying stores a pair's
+/// solved `merge_plan::order_cost` here the first time it exceeds the arc
+/// distance lower bound; subsequent selections of the pair are keyed by the
+/// cached true cost instead of re-solving the plan.  Entries for merged
+/// roots are never consulted again (node ids are unique), so no
+/// invalidation is needed within one engine run.
+class pair_cost_cache {
+  public:
+    void store(std::uint64_t key, double order_cost) {
+        costs_[key] = order_cost;
+    }
+
+    /// The cached true cost, or nullopt when the pair was never re-keyed.
+    [[nodiscard]] std::optional<double> lookup(std::uint64_t key) const {
+        const auto it = costs_.find(key);
+        if (it == costs_.end()) return std::nullopt;
+        return it->second;
+    }
+
+  private:
+    std::unordered_map<std::uint64_t, double> costs_;
+};
 
 /// Intra-group skew bounds (seconds).  `default_bound` applies to every
 /// group without an override.  Zero bounds give classic zero-skew behaviour.

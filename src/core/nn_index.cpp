@@ -1,41 +1,26 @@
 #include "core/nn_index.hpp"
 
-#include <algorithm>
 #include <cassert>
-#include <limits>
 
 namespace astclk::core {
 
-void nn_index::insert(topo::node_id id) {
-    assert(active_set_.find(id) == active_set_.end());
-    active_.push_back(id);
-    active_set_.insert(id);
+void active_set::insert(topo::node_id id) {
+    const auto i = static_cast<std::size_t>(id);
+    if (i >= pos_.size()) pos_.resize(i + 1, knull_slot);
+    assert(pos_[i] == knull_slot);
+    pos_[i] = static_cast<std::int32_t>(items_.size());
+    items_.push_back(id);
 }
 
-void nn_index::erase(topo::node_id id) {
-    auto it = std::find(active_.begin(), active_.end(), id);
-    assert(it != active_.end());
-    *it = active_.back();
-    active_.pop_back();
-    active_set_.erase(id);
-}
-
-std::optional<std::pair<topo::node_id, double>> nn_index::nearest(
-    topo::node_id id, const std::function<bool(std::uint64_t)>& banned) const {
-    const geom::tilted_rect& arc = tree_->node(id).arc;
-    topo::node_id best = topo::knull_node;
-    double best_d = std::numeric_limits<double>::infinity();
-    for (topo::node_id other : active_) {
-        if (other == id) continue;
-        if (banned && banned(pair_key(id, other))) continue;
-        const double d = arc.distance(tree_->node(other).arc);
-        if (d < best_d || (d == best_d && other < best)) {
-            best_d = d;
-            best = other;
-        }
-    }
-    if (best == topo::knull_node) return std::nullopt;
-    return std::make_pair(best, best_d);
+void active_set::erase(topo::node_id id) {
+    const auto i = static_cast<std::size_t>(id);
+    assert(i < pos_.size() && pos_[i] != knull_slot);
+    const auto slot = static_cast<std::size_t>(pos_[i]);
+    const topo::node_id moved = items_.back();
+    items_[slot] = moved;
+    items_.pop_back();
+    pos_[static_cast<std::size_t>(moved)] = static_cast<std::int32_t>(slot);
+    pos_[i] = knull_slot;
 }
 
 }  // namespace astclk::core

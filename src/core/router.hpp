@@ -57,6 +57,10 @@ enum class ast_mode {
 
 struct router_options {
     rc::delay_model model = rc::delay_model::elmore();
+    /// Engine knobs, forwarded to every reduce run of the route: merge
+    /// order, true-cost re-keying, and the nearest-neighbour backend
+    /// (`engine.backend` — grid by default, `nn_backend::linear` for the
+    /// exact-scan verification backend; both produce identical trees).
     engine_options engine;
     /// AST only: ordering bias (layout units) deferring merges that would
     /// bind two inter-group offset components (see merge_solver).

@@ -1,0 +1,220 @@
+// Grid-backend equivalence: the spatial grid index must answer exactly the
+// same nearest-neighbour queries (same partner id, same distance, same
+// deterministic tie-breaks) as the linear verification scan, and the full
+// engine must produce identical trees under either backend.
+
+#include "core/engine.hpp"
+#include "core/grid_index.hpp"
+#include "core/nn_index.hpp"
+#include "core/router.hpp"
+#include "eval/report.hpp"
+#include "gen/grouping.hpp"
+#include "gen/instance_gen.hpp"
+#include "gen/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace astclk::core {
+namespace {
+
+using topo::clock_tree;
+using topo::instance;
+using topo::node_id;
+
+instance seeded_instance(int n, std::uint64_t seed, bool intermingled,
+                         int groups) {
+    gen::instance_spec spec = gen::paper_spec("r1");
+    spec.num_sinks = n;
+    spec.seed = seed;
+    auto inst = gen::generate(spec);
+    if (groups > 1) {
+        if (intermingled)
+            gen::apply_intermingled_groups(inst, groups, seed + 1);
+        else
+            gen::apply_clustered_groups(inst, groups);
+    }
+    return inst;
+}
+
+/// Compare every query on both backends, with and without a ban set.
+void expect_index_equivalence(const clock_tree& t,
+                              const std::vector<node_id>& roots,
+                              std::uint64_t ban_seed) {
+    nn_index lin(&t, roots);
+    grid_index grid(&t, roots);
+    ASSERT_EQ(lin.size(), grid.size());
+
+    // Random symmetric ban set over ~10% of pairs.
+    gen::rng rng(ban_seed);
+    std::unordered_set<std::uint64_t> bans;
+    for (node_id a : roots)
+        for (int k = 0; k < 2; ++k) {
+            const auto b = roots[static_cast<std::size_t>(
+                rng.below(roots.size()))];
+            if (a != b) bans.insert(pair_key(a, b));
+        }
+    const auto no_ban = [](std::uint64_t) { return false; };
+    const auto with_ban = [&](std::uint64_t k) { return bans.count(k) > 0; };
+
+    for (node_id id : roots) {
+        const auto l0 = lin.nearest_if(id, no_ban);
+        const auto g0 = grid.nearest_if(id, no_ban);
+        ASSERT_EQ(l0.has_value(), g0.has_value()) << "id " << id;
+        if (l0.has_value()) {
+            EXPECT_EQ(l0->first, g0->first) << "id " << id;
+            EXPECT_EQ(l0->second, g0->second) << "id " << id;
+        }
+        const auto l1 = lin.nearest_if(id, with_ban);
+        const auto g1 = grid.nearest_if(id, with_ban);
+        ASSERT_EQ(l1.has_value(), g1.has_value()) << "id " << id << " (bans)";
+        if (l1.has_value()) {
+            EXPECT_EQ(l1->first, g1->first) << "id " << id << " (bans)";
+            EXPECT_EQ(l1->second, g1->second) << "id " << id << " (bans)";
+        }
+    }
+}
+
+TEST(GridIndex, MatchesLinearOnClusteredAndIntermingledLeaves) {
+    for (const bool intermingled : {false, true}) {
+        for (const std::uint64_t seed : {3u, 11u, 29u}) {
+            const auto inst = seeded_instance(180, seed, intermingled, 6);
+            clock_tree t;
+            std::vector<node_id> roots;
+            for (std::size_t i = 0; i < inst.sinks.size(); ++i)
+                roots.push_back(t.add_leaf(inst, static_cast<int>(i)));
+            expect_index_equivalence(t, roots, seed * 7 + 1);
+        }
+    }
+}
+
+TEST(GridIndex, MatchesLinearWithLongMergedArcs) {
+    // Mix leaves with synthetic internal nodes carrying long Manhattan
+    // arcs (hulls of distant leaf pairs), the shape the engine produces
+    // mid-run; long arcs span many grid cells.
+    const auto inst = seeded_instance(120, 5, true, 4);
+    clock_tree t;
+    std::vector<node_id> roots;
+    for (std::size_t i = 0; i < inst.sinks.size(); ++i)
+        roots.push_back(t.add_leaf(inst, static_cast<int>(i)));
+    gen::rng rng(99);
+    std::vector<node_id> active = roots;
+    for (int k = 0; k < 40; ++k) {
+        const auto ia = static_cast<std::size_t>(rng.below(active.size()));
+        auto ib = static_cast<std::size_t>(rng.below(active.size()));
+        if (ia == ib) ib = (ib + 1) % active.size();
+        const node_id a = active[std::min(ia, ib)];
+        const node_id b = active[std::max(ia, ib)];
+        // Degenerate-in-u hull: a Manhattan arc spanning the two nodes.
+        const geom::tilted_rect hull = t.node(a).arc.hull(t.node(b).arc);
+        const geom::tilted_rect arc{geom::interval::at(hull.u().mid()),
+                                    hull.v()};
+        const node_id c =
+            t.add_internal(a, b, arc, 0.0, 0.0, 0.0, t.node(a).delays);
+        active.erase(active.begin() +
+                     static_cast<std::ptrdiff_t>(std::max(ia, ib)));
+        active.erase(active.begin() +
+                     static_cast<std::ptrdiff_t>(std::min(ia, ib)));
+        active.push_back(c);
+    }
+    expect_index_equivalence(t, active, 123);
+}
+
+/// Route the same instance under both backends; trees must be identical in
+/// every engine statistic, wirelength, and per-node geometry.
+void expect_identical_routes(const instance& inst) {
+    router_options grid_opt, lin_opt;
+    grid_opt.engine.backend = nn_backend::grid;
+    lin_opt.engine.backend = nn_backend::linear;
+    for (const ast_mode mode :
+         {ast_mode::windowed, ast_mode::soft_ledger, ast_mode::automatic}) {
+        const auto g = route_ast_dme(inst, skew_spec::zero(), grid_opt, mode);
+        const auto l = route_ast_dme(inst, skew_spec::zero(), lin_opt, mode);
+        EXPECT_EQ(g.stats.merges, l.stats.merges);
+        EXPECT_EQ(g.stats.rejected_pairs, l.stats.rejected_pairs);
+        EXPECT_EQ(g.stats.forced_merges, l.stats.forced_merges);
+        EXPECT_EQ(g.stats.interior_snakes, l.stats.interior_snakes);
+        EXPECT_EQ(g.stats.root_snakes, l.stats.root_snakes);
+        EXPECT_EQ(g.stats.snake_wire, l.stats.snake_wire);
+        EXPECT_EQ(g.wirelength, l.wirelength);
+        ASSERT_EQ(g.tree.size(), l.tree.size());
+        for (std::size_t i = 0; i < g.tree.size(); ++i) {
+            const auto& gn = g.tree.node(static_cast<node_id>(i));
+            const auto& ln = l.tree.node(static_cast<node_id>(i));
+            EXPECT_EQ(gn.left, ln.left);
+            EXPECT_EQ(gn.right, ln.right);
+            EXPECT_EQ(gn.arc, ln.arc);
+            EXPECT_EQ(gn.edge_left, ln.edge_left);
+            EXPECT_EQ(gn.edge_right, ln.edge_right);
+        }
+    }
+}
+
+TEST(GridIndex, EngineProducesIdenticalTreesClustered) {
+    expect_identical_routes(seeded_instance(220, 17, false, 6));
+}
+
+TEST(GridIndex, EngineProducesIdenticalTreesIntermingled) {
+    expect_identical_routes(seeded_instance(220, 23, true, 8));
+}
+
+TEST(GridIndex, EngineIdenticalUnderMultiMergeAndZst) {
+    const auto inst = seeded_instance(150, 31, true, 5);
+    for (const merge_order order :
+         {merge_order::nearest_pair, merge_order::multi_merge}) {
+        router_options g, l;
+        g.engine.order = l.engine.order = order;
+        g.engine.backend = nn_backend::grid;
+        l.engine.backend = nn_backend::linear;
+        const auto rg = route_zst_dme(inst, g);
+        const auto rl = route_zst_dme(inst, l);
+        EXPECT_EQ(rg.wirelength, rl.wirelength);
+        EXPECT_EQ(rg.stats.merges, rl.stats.merges);
+        EXPECT_EQ(rg.stats.snake_wire, rl.stats.snake_wire);
+        EXPECT_EQ(rg.stats.rounds, rl.stats.rounds);
+    }
+}
+
+TEST(GridIndex, EraseReinsertKeepsAnswersConsistent) {
+    const auto inst = seeded_instance(90, 41, true, 3);
+    clock_tree t;
+    std::vector<node_id> roots;
+    for (std::size_t i = 0; i < inst.sinks.size(); ++i)
+        roots.push_back(t.add_leaf(inst, static_cast<int>(i)));
+    nn_index lin(&t, roots);
+    grid_index grid(&t, roots);
+    gen::rng rng(7);
+    const auto no_ban = [](std::uint64_t) { return false; };
+    // Random erase / reinsert churn, checking equivalence throughout.
+    std::vector<node_id> in = roots, out;
+    for (int step = 0; step < 60; ++step) {
+        if (!in.empty() && (out.empty() || rng.below(3) != 0)) {
+            const auto k = static_cast<std::size_t>(rng.below(in.size()));
+            const node_id id = in[k];
+            lin.erase(id);
+            grid.erase(id);
+            in.erase(in.begin() + static_cast<std::ptrdiff_t>(k));
+            out.push_back(id);
+        } else {
+            const node_id id = out.back();
+            out.pop_back();
+            lin.insert(id);
+            grid.insert(id);
+            in.push_back(id);
+        }
+        ASSERT_EQ(lin.size(), grid.size());
+        for (const node_id id : in) {
+            const auto l = lin.nearest_if(id, no_ban);
+            const auto g = grid.nearest_if(id, no_ban);
+            ASSERT_EQ(l.has_value(), g.has_value());
+            if (l.has_value()) {
+                ASSERT_EQ(l->first, g->first);
+                ASSERT_EQ(l->second, g->second);
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace astclk::core
