@@ -2,6 +2,9 @@
 // "simple solution in practice" the paper describes replaces associative
 // constraints with a global bound; we sweep that bound and compare against
 // AST-DME, which needs no global bound at all.
+//
+// The sweep is one route_service batch: every EXT-BST bound plus the
+// AST-DME row per circuit, fanned across the worker pool.
 
 #include "common.hpp"
 
@@ -10,28 +13,50 @@ using namespace astclk;
 int main() {
     std::cout << "Ablation — EXT-BST global bound sweep vs AST-DME "
                  "(intermingled k=8)\n\n";
+    core::route_service svc;
+    auto& ctx = svc.context();
+
+    const double bounds_ps[] = {0.0, 1.0, 10.0, 50.0, 100.0, 500.0};
+    struct job {
+        const topo::instance* inst;
+        const char* circuit;
+        bool is_ast;
+        double bound_ps;
+    };
+    std::vector<core::routing_request> reqs;
+    std::vector<job> jobs;
+    for (const char* name : {"r1", "r3"}) {
+        const topo::instance& inst =
+            ctx.intermingled(gen::paper_spec(name), 8, 42);
+        for (double ps : bounds_ps) {
+            core::routing_request r;
+            r.instance = &inst;
+            r.strategy = core::strategy_id::ext_bst;
+            r.spec = core::skew_spec::uniform(ps * 1e-12);
+            reqs.push_back(r);
+            jobs.push_back({&inst, name, false, ps});
+        }
+        core::routing_request ast;
+        ast.instance = &inst;
+        ast.strategy = core::strategy_id::ast_dme;
+        reqs.push_back(ast);
+        jobs.push_back({&inst, name, true, 0.0});
+    }
+    const auto results = bench::run_batch(svc, reqs);
+
     io::table t({"Circuit", "Algorithm", "Bound(ps)", "Wirelen",
                  "MaxSkew(ps)", "IntraSkew(ps)"});
     const core::router_options opt;
-    for (const char* name : {"r1", "r3"}) {
-        auto inst = gen::generate(gen::paper_spec(name));
-        gen::apply_intermingled_groups(inst, 8, 42);
-        for (double ps : {0.0, 1.0, 10.0, 50.0, 100.0, 500.0}) {
-            const auto r = core::route_ext_bst(inst, ps * 1e-12, opt);
-            const auto ev = eval::evaluate(r.tree, inst, opt.model);
-            t.add_row({name, "EXT-BST", io::table::fixed(ps, 0),
-                       io::table::integer(r.wirelength),
-                       io::table::fixed(rc::to_ps(ev.global_skew), 1),
-                       io::table::fixed(rc::to_ps(ev.max_intra_group_skew),
-                                        4)});
-        }
-        const auto ast = core::route_ast_dme(inst);
-        const auto ev = eval::evaluate(ast.tree, inst, opt.model);
-        t.add_row({name, "AST-DME", "intra=0",
-                   io::table::integer(ast.wirelength),
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const job& j = jobs[i];
+        const auto& r = results[i];
+        const auto ev = eval::evaluate(r.tree, *j.inst, opt.model);
+        t.add_row({j.circuit, j.is_ast ? "AST-DME" : "EXT-BST",
+                   j.is_ast ? "intra=0" : io::table::fixed(j.bound_ps, 0),
+                   io::table::integer(r.wirelength),
                    io::table::fixed(rc::to_ps(ev.global_skew), 1),
                    io::table::fixed(rc::to_ps(ev.max_intra_group_skew), 4)});
-        t.add_rule();
+        if (j.is_ast) t.add_rule();
     }
     t.print(std::cout);
     std::cout << "\n(EXT-BST must pick one global bound: tight bounds cost "

@@ -3,6 +3,8 @@
 // residual violations, plus the bind-deferral knob demonstrating why
 // postponing offset commitments degenerates toward separate-tree overlap
 // (the paper's Fig. 2 failure mode).
+//
+// All variants are one route_service batch over context-cached instances.
 
 #include "common.hpp"
 
@@ -10,41 +12,61 @@ using namespace astclk;
 
 int main() {
     std::cout << "Ablation — AST consistency modes (intermingled groups)\n\n";
-    io::table t({"Circuit", "k", "Mode", "Wirelen", "SnakeWire", "Rejected",
-                 "Forced", "ResidViol(ps)", "IntraSkew(ps)"});
+    core::route_service svc;
+    auto& ctx = svc.context();
+
+    struct variant {
+        const char* label;
+        core::ast_mode mode;
+        double bias;
+    };
+    const variant variants[] = {
+        {"exact ledger", core::ast_mode::exact_ledger, 0.0},
+        {"soft ledger", core::ast_mode::soft_ledger, 0.0},
+        {"windowed (paper)", core::ast_mode::windowed, 0.0},
+        {"exact + defer-binds", core::ast_mode::exact_ledger, 2e4},
+    };
+
+    struct job {
+        const topo::instance* inst;
+        const char* circuit;
+        int k;
+        const char* label;
+    };
+    std::vector<core::routing_request> reqs;
+    std::vector<job> jobs;
     for (const char* name : {"r1", "r2", "r3"}) {
         for (int k : {4, 10}) {
-            auto inst = gen::generate(gen::paper_spec(name));
-            gen::apply_intermingled_groups(inst, k, 42);
-            struct variant {
-                const char* label;
-                core::ast_mode mode;
-                double bias;
-            };
-            const variant variants[] = {
-                {"exact ledger", core::ast_mode::exact_ledger, 0.0},
-                {"soft ledger", core::ast_mode::soft_ledger, 0.0},
-                {"windowed (paper)", core::ast_mode::windowed, 0.0},
-                {"exact + defer-binds", core::ast_mode::exact_ledger, 2e4},
-            };
+            const topo::instance& inst =
+                ctx.intermingled(gen::paper_spec(name), k, 42);
             for (const auto& v : variants) {
-                core::router_options opt;
-                opt.bind_deferral_bias = v.bias;
-                const auto r = core::route_ast_dme(
-                    inst, core::skew_spec::zero(), opt, v.mode);
-                const auto ev = eval::evaluate(r.tree, inst, opt.model);
-                t.add_row(
-                    {name, std::to_string(k), v.label,
-                     io::table::integer(r.wirelength),
-                     io::table::integer(r.stats.snake_wire),
-                     std::to_string(r.stats.rejected_pairs),
-                     std::to_string(r.stats.forced_merges),
-                     io::table::fixed(rc::to_ps(r.stats.worst_violation), 3),
-                     io::table::fixed(rc::to_ps(ev.max_intra_group_skew),
-                                      4)});
+                core::routing_request r;
+                r.instance = &inst;
+                r.strategy = core::strategy_id::ast_dme;
+                r.mode = v.mode;
+                r.options.bind_deferral_bias = v.bias;
+                reqs.push_back(r);
+                jobs.push_back({&inst, name, k, v.label});
             }
-            t.add_rule();
         }
+    }
+    const auto results = bench::run_batch(svc, reqs);
+
+    io::table t({"Circuit", "k", "Mode", "Wirelen", "SnakeWire", "Rejected",
+                 "Forced", "ResidViol(ps)", "IntraSkew(ps)"});
+    const core::router_options opt;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const job& j = jobs[i];
+        const auto& r = results[i];
+        const auto ev = eval::evaluate(r.tree, *j.inst, opt.model);
+        t.add_row({j.circuit, std::to_string(j.k), j.label,
+                   io::table::integer(r.wirelength),
+                   io::table::integer(r.stats.snake_wire),
+                   std::to_string(r.stats.rejected_pairs),
+                   std::to_string(r.stats.forced_merges),
+                   io::table::fixed(rc::to_ps(r.stats.worst_violation), 3),
+                   io::table::fixed(rc::to_ps(ev.max_intra_group_skew), 4)});
+        if ((i + 1) % std::size(variants) == 0) t.add_rule();
     }
     t.print(std::cout);
     std::cout

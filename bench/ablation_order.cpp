@@ -1,10 +1,13 @@
 // Ablation A (Ch. V-F): merging-order enhancements.
 //  * nearest-pair with true-cost re-keying (default),
 //  * nearest-pair keyed by arc distance only,
-//  * Edahiro-style multi-merge rounds (V-F.1, a speed enhancement).
+//  * Edahiro-style multi-merge rounds (V-F.1, a speed enhancement —
+//    whose per-round NN queries and plan() calls fan out across the
+//    service's worker pool).
 //
 // Reports wirelength and CPU for each, reproducing the paper's argument
-// that the order refinements trade quality and runtime.
+// that the order refinements trade quality and runtime.  One service
+// batch covers every (circuit, order) cell.
 
 #include "common.hpp"
 
@@ -12,42 +15,58 @@ using namespace astclk;
 
 int main() {
     std::cout << "Ablation — merging order (AST-DME, intermingled k=8)\n\n";
+    core::route_service svc;
+    auto& ctx = svc.context();
+
+    struct variant {
+        const char* label;
+        core::engine_options eng;
+    };
+    std::vector<variant> variants;
+    variants.push_back({"nearest+true-cost", {}});
+    {
+        core::engine_options e;
+        e.true_cost_ordering = false;
+        variants.push_back({"nearest distance-only", e});
+    }
+    {
+        core::engine_options e;
+        e.order = core::merge_order::multi_merge;
+        variants.push_back({"multi-merge (V-F.1)", e});
+    }
+
+    struct job {
+        const char* circuit;
+        const char* label;
+    };
+    std::vector<core::routing_request> reqs;
+    std::vector<job> jobs;
+    for (const char* name : {"r1", "r2", "r3"}) {
+        const topo::instance& inst =
+            ctx.intermingled(gen::paper_spec(name), 8, 42);
+        for (const auto& v : variants) {
+            core::routing_request r;
+            r.instance = &inst;
+            r.strategy = core::strategy_id::ast_dme;
+            r.options.engine = v.eng;
+            reqs.push_back(r);
+            jobs.push_back({name, v.label});
+        }
+    }
+    const auto results = bench::run_batch(svc, reqs);
+
     io::table t({"Circuit", "Order", "Wirelen", "vs default", "Rounds",
                  "CPU(s)"});
-    for (const char* name : {"r1", "r2", "r3"}) {
-        auto inst = gen::generate(gen::paper_spec(name));
-        gen::apply_intermingled_groups(inst, 8, 42);
-
-        struct variant {
-            const char* label;
-            core::engine_options eng;
-        };
-        std::vector<variant> variants;
-        variants.push_back({"nearest+true-cost", {}});
-        {
-            core::engine_options e;
-            e.true_cost_ordering = false;
-            variants.push_back({"nearest distance-only", e});
-        }
-        {
-            core::engine_options e;
-            e.order = core::merge_order::multi_merge;
-            variants.push_back({"multi-merge (V-F.1)", e});
-        }
-
-        double base_wl = 0.0;
-        for (const auto& v : variants) {
-            core::router_options opt;
-            opt.engine = v.eng;
-            const auto r = core::route_ast_dme(inst, core::skew_spec::zero(),
-                                               opt);
-            if (base_wl == 0.0) base_wl = r.wirelength;
-            t.add_row({name, v.label, io::table::integer(r.wirelength),
-                       io::table::percent(r.wirelength / base_wl - 1.0),
-                       std::to_string(r.stats.rounds),
-                       io::table::fixed(r.cpu_seconds, 3)});
-        }
-        t.add_rule();
+    double base_wl = 0.0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto& r = results[i];
+        if (i % variants.size() == 0) base_wl = r.wirelength;
+        t.add_row({jobs[i].circuit, jobs[i].label,
+                   io::table::integer(r.wirelength),
+                   io::table::percent(r.wirelength / base_wl - 1.0),
+                   std::to_string(r.stats.rounds),
+                   io::table::fixed(r.cpu_seconds, 3)});
+        if ((i + 1) % variants.size() == 0) t.add_rule();
     }
     t.print(std::cout);
     return 0;

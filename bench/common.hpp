@@ -5,6 +5,7 @@
 /// tables and figures: benchmark construction, the row format of Tables
 /// I/II, and small formatting helpers.
 
+#include "core/route_service.hpp"
 #include "core/router.hpp"
 #include "eval/elmore_eval.hpp"
 #include "eval/report.hpp"
@@ -12,6 +13,7 @@
 #include "gen/instance_gen.hpp"
 #include "io/table.hpp"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -19,6 +21,26 @@
 #include <vector>
 
 namespace astclk::bench {
+
+/// Route a whole batch through the service and unwrap the entries,
+/// aborting loudly on any failed request — a bench must never print a
+/// table with silently missing rows.
+inline std::vector<core::route_result> run_batch(
+    core::route_service& svc,
+    const std::vector<core::routing_request>& reqs) {
+    auto entries = svc.route_batch(reqs);
+    std::vector<core::route_result> out;
+    out.reserve(entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (!entries[i].ok()) {
+            std::cerr << "batch request " << i
+                      << " failed: " << entries[i].error << "\n";
+            std::exit(1);
+        }
+        out.push_back(std::move(entries[i].result));
+    }
+    return out;
+}
 
 /// One machine-readable measurement row, serialised to the BENCH_*.json
 /// files that track the perf trajectory across PRs.

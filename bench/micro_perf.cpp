@@ -1,13 +1,16 @@
 // Merge-engine scaling benchmark: wall-clock of the bottom-up reduce and
 // of full AST-DME routes across instance sizes, for both nearest-neighbour
-// backends (grid vs the linear verification scan).
+// backends (grid vs the linear verification scan) — plus aggregate
+// throughput of a route_service batch (table2-style requests) at 1 worker
+// thread vs 4, the batched serving path.
 //
 // Emits a human table on stdout and a machine-readable
 // BENCH_micro_perf.json (per-n wall-clock, merges/sec, backend tag) so
-// future PRs can track the perf trajectory.
+// future PRs can track the perf trajectory (bench/perf_diff.py gates the
+// engine benches against the committed baseline).
 //
 // Usage:  micro_perf [--quick] [output.json]
-//   --quick   cap the sweep at n=512 (CI smoke)
+//   --quick   cap the sweep at n=512 and shrink the batch (CI smoke)
 
 #include "common.hpp"
 #include "core/router_detail.hpp"
@@ -78,6 +81,54 @@ bench::perf_record bench_route(const topo::instance& inst,
     return rec;
 }
 
+/// Aggregate throughput of a route_service batch at a given thread count.
+/// The requests are table2-shaped (EXT-BST baseline + AST-DME over
+/// intermingled groupings); instances are borrowed so every thread count
+/// routes the identical batch.
+bench::perf_record bench_service(
+    const std::vector<const topo::instance*>& insts, int threads, int reps) {
+    bench::perf_record rec;
+    rec.bench = "service_batch";
+    rec.backend = "t" + std::to_string(threads);
+    rec.seconds = std::numeric_limits<double>::infinity();
+    std::vector<core::routing_request> reqs;
+    for (const topo::instance* inst : insts) {
+        rec.n += static_cast<int>(inst->sinks.size());
+        core::routing_request ext;
+        ext.instance = inst;
+        ext.strategy = core::strategy_id::ext_bst;
+        ext.spec = core::skew_spec::uniform(bench::kext_bst_bound);
+        reqs.push_back(ext);
+        core::routing_request ast;
+        ast.instance = inst;
+        ast.strategy = core::strategy_id::ast_dme;
+        ast.mode = core::ast_mode::windowed;
+        reqs.push_back(ast);
+    }
+    for (int rep = 0; rep < reps; ++rep) {
+        core::service_options sopt;
+        sopt.threads = threads;
+        core::route_service svc(sopt);
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto entries = svc.route_batch(reqs);
+        rec.seconds = std::min(rec.seconds, now_diff(t0));
+        rec.merges = 0;
+        rec.wirelength = 0.0;
+        for (const auto& e : entries) {
+            if (!e.ok()) {
+                std::cerr << "service bench request failed: " << e.error
+                          << "\n";
+                std::exit(1);
+            }
+            rec.merges += e.result.stats.merges;
+            rec.wirelength += e.result.wirelength;
+        }
+    }
+    rec.merges_per_sec =
+        rec.seconds > 0.0 ? static_cast<double>(rec.merges) / rec.seconds : 0.0;
+    return rec;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -125,6 +176,39 @@ int main(int argc, char** argv) {
             records.push_back(grid);
             records.push_back(lin);
         }
+    }
+
+    // Batched serving throughput: the same table2-style batch at 1 worker
+    // thread vs 4 (results are bit-identical; only wall-clock moves).
+    {
+        std::vector<topo::instance> batch_insts;
+        const int batch_n = quick ? 256 : 862;  // r3-sized in full mode
+        for (const char* name : {"r1", "r2"}) {
+            gen::instance_spec spec = gen::paper_spec(name);
+            spec.num_sinks = std::min(spec.num_sinks, batch_n);
+            for (int k : bench::kpaper_group_counts) {
+                auto inst = gen::generate(spec);
+                gen::apply_intermingled_groups(
+                    inst, k, spec.seed * 1000 + static_cast<unsigned>(k));
+                batch_insts.push_back(std::move(inst));
+            }
+        }
+        std::vector<const topo::instance*> ptrs;
+        for (const auto& i : batch_insts) ptrs.push_back(&i);
+        const int reps = quick ? 1 : 2;
+        const auto s1 = bench_service(ptrs, 1, reps);
+        const auto s4 = bench_service(ptrs, 4, reps);
+        const double speedup =
+            s4.seconds > 0.0 ? s1.seconds / s4.seconds : 0.0;
+        t.add_row({s4.bench, std::to_string(s4.n), s4.backend,
+                   io::table::fixed(s4.seconds, 4),
+                   io::table::integer(s4.merges_per_sec),
+                   io::table::fixed(speedup, 2) + "x"});
+        t.add_row({s1.bench, std::to_string(s1.n), s1.backend,
+                   io::table::fixed(s1.seconds, 4),
+                   io::table::integer(s1.merges_per_sec), "1.00x"});
+        records.push_back(s4);
+        records.push_back(s1);
     }
 
     t.print(std::cout);

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Perf trajectory gate: diff BENCH_micro_perf.json against the committed
+baseline and fail on wall-clock regression.
+
+For every gated (bench, backend) series present in both files, the largest
+common n is compared; a regression beyond --tolerance (default 20%) fails
+the run.  Because absolute wall-clock shifts with the machine, the current
+numbers are first calibrated by the linear-backend reference (the frozen
+seed implementation): its runtime ratio baseline/current estimates the
+machine-speed factor, and the gated grid timings are scaled by it before
+comparison.  Pass --no-calibrate for raw wall-clock.
+
+Only the engine benches are gated by default; service_batch throughput is
+reported but not gated (batch scheduling noise is not an engine
+regression).  Exit codes: 0 ok, 1 regression, 2 usage/missing data.
+"""
+
+import argparse
+import json
+import sys
+
+GATED_DEFAULT = "engine_reduce:grid,route_ast_windowed:grid"
+CALIBRATION_SERIES = ("engine_reduce", "linear")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"perf_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    series = {}
+    for r in rows:
+        series.setdefault((r["bench"], r["backend"]), {})[r["n"]] = r
+    return series
+
+
+def pick_common_n(base, cur, key):
+    common = sorted(set(base.get(key, {})) & set(cur.get(key, {})))
+    return common[-1] if common else None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed fractional slowdown (default 0.20)")
+    ap.add_argument("--gate", default=GATED_DEFAULT,
+                    help="comma-separated bench:backend series to gate")
+    ap.add_argument("--no-calibrate", action="store_true",
+                    help="compare raw wall-clock without machine scaling")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    scale = 1.0
+    if not args.no_calibrate:
+        n = pick_common_n(base, cur, CALIBRATION_SERIES)
+        if n is not None:
+            b = base[CALIBRATION_SERIES][n]["seconds"]
+            c = cur[CALIBRATION_SERIES][n]["seconds"]
+            if b > 0 and c > 0:
+                scale = b / c
+                print(f"calibration ({CALIBRATION_SERIES[0]}/"
+                      f"{CALIBRATION_SERIES[1]} @ n={n}): machine factor "
+                      f"{scale:.3f} (baseline {b:.4f}s / current {c:.4f}s)")
+
+    gated = []
+    for spec in args.gate.split(","):
+        spec = spec.strip()
+        if not spec:
+            continue
+        bench, _, backend = spec.partition(":")
+        gated.append((bench, backend))
+
+    failures = []
+    compared = 0
+    for key in gated:
+        n = pick_common_n(base, cur, key)
+        if n is None:
+            print(f"perf_diff: series {key[0]}:{key[1]} missing from one "
+                  f"side; skipped")
+            continue
+        compared += 1
+        b = base[key][n]["seconds"]
+        c = cur[key][n]["seconds"] * scale
+        ratio = c / b if b > 0 else float("inf")
+        verdict = "OK"
+        if ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSION"
+            failures.append((key, n, b, c, ratio))
+        elif ratio < 1.0 - args.tolerance:
+            verdict = "improvement"
+        print(f"{key[0]}:{key[1]} @ n={n}: baseline {b:.4f}s, current "
+              f"{c:.4f}s (calibrated), ratio {ratio:.2f} -> {verdict}")
+
+    # Informational: batched serving throughput, never gated.
+    for key in sorted(cur):
+        if key[0] == "service_batch":
+            n = max(cur[key])
+            r = cur[key][n]
+            print(f"info service_batch:{key[1]} @ n={n}: "
+                  f"{r['seconds']:.4f}s, {r['merges_per_sec']:.0f} merges/s")
+
+    if compared == 0:
+        print("perf_diff: nothing to compare", file=sys.stderr)
+        sys.exit(2)
+    if failures:
+        for key, n, b, c, ratio in failures:
+            print(f"perf_diff: {key[0]}:{key[1]} regressed {ratio:.2f}x at "
+                  f"n={n} (baseline {b:.4f}s, calibrated current {c:.4f}s)",
+                  file=sys.stderr)
+        sys.exit(1)
+    print("perf_diff: within tolerance")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,13 +1,17 @@
-// Command-line router: read an instance file, route it with a chosen
-// algorithm, verify, print the report, optionally export SVG/JSON.
+// Command-line router over the routing service: read an instance file,
+// build a routing_request, route it through route_service (strategy
+// registry + thread pool), verify, print the report, optionally export
+// SVG/JSON.
 //
 //   $ ./route_cli INSTANCE [--algo ast|zst|bst|sep] [--bound PS]
-//                 [--mode auto|windowed|exact|soft] [--svg OUT.svg]
-//                 [--json OUT.json]
+//                 [--mode auto|windowed|exact|soft] [--threads N]
+//                 [--svg OUT.svg] [--json OUT.json]
 //
-// Exit status: 0 when routing and verification succeed.
+// --threads 0 (default) uses the hardware concurrency; multi-merge engine
+// rounds fan out across the pool, and results are bit-identical to
+// --threads 1.  Exit status: 0 when routing and verification succeed.
 
-#include "core/router.hpp"
+#include "core/route_service.hpp"
 #include "eval/report.hpp"
 #include "eval/skew_matrix.hpp"
 #include "io/instance_io.hpp"
@@ -26,7 +30,7 @@ int usage(const char* argv0) {
     std::cerr << "usage: " << argv0
               << " INSTANCE [--algo ast|zst|bst|sep] [--bound PS]\n"
                  "          [--mode auto|windowed|exact|soft]"
-                 " [--svg OUT.svg] [--json OUT.json]\n";
+                 " [--threads N] [--svg OUT.svg] [--json OUT.json]\n";
     return 2;
 }
 
@@ -39,6 +43,7 @@ int main(int argc, char** argv) {
     std::string mode = "auto";
     std::string svg_out, json_out;
     double bound_ps = 10.0;
+    int threads = 0;
     for (int i = 2; i < argc; ++i) {
         const std::string a = argv[i];
         const auto need = [&](const char* opt) -> const char* {
@@ -54,6 +59,8 @@ int main(int argc, char** argv) {
             bound_ps = std::atof(need("--bound"));
         else if (a == "--mode")
             mode = need("--mode");
+        else if (a == "--threads")
+            threads = std::atoi(need("--threads"));
         else if (a == "--svg")
             svg_out = need("--svg");
         else if (a == "--json")
@@ -70,30 +77,43 @@ int main(int argc, char** argv) {
         return 1;
     }
 
-    const core::router_options opt;
-    core::route_result route;
+    core::routing_request req;
+    req.instance = &inst;
+    const auto id = core::strategy_registry::global().id_of(algo);
+    if (!id.has_value()) return usage(argv[0]);
+    req.strategy = *id;
     core::skew_spec constraint = core::skew_spec::zero();
-    if (algo == "zst") {
-        route = core::route_zst_dme(inst, opt);
-    } else if (algo == "bst") {
-        route = core::route_ext_bst(inst, bound_ps * 1e-12, opt);
-        constraint = core::skew_spec::uniform(bound_ps * 1e-12);
-    } else if (algo == "sep") {
-        route = core::route_separate_stitch(inst, opt);
-    } else if (algo == "ast") {
-        core::ast_mode m = core::ast_mode::automatic;
-        if (mode == "windowed") m = core::ast_mode::windowed;
-        else if (mode == "exact") m = core::ast_mode::exact_ledger;
-        else if (mode == "soft") m = core::ast_mode::soft_ledger;
-        else if (mode != "auto") return usage(argv[0]);
-        route = core::route_ast_dme(inst, core::skew_spec::zero(), opt, m);
-    } else {
-        return usage(argv[0]);
+    if (req.strategy == core::strategy_id::ext_bst) {
+        req.spec = core::skew_spec::uniform(bound_ps * 1e-12);
+        constraint = req.spec;
+    } else if (req.strategy == core::strategy_id::ast_dme) {
+        if (mode == "windowed")
+            req.mode = core::ast_mode::windowed;
+        else if (mode == "exact")
+            req.mode = core::ast_mode::exact_ledger;
+        else if (mode == "soft")
+            req.mode = core::ast_mode::soft_ledger;
+        else if (mode != "auto")
+            return usage(argv[0]);
     }
+
+    core::service_options sopt;
+    sopt.threads = threads;
+    core::route_service service(sopt);
+    core::route_result route;
+    try {
+        route = service.route(req);
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+    const core::router_options& opt = req.options;
 
     const auto ev = eval::evaluate(route.tree, inst, opt.model);
     std::cout << eval::format_report(ev, inst);
-    std::cout << "  cpu             : " << route.cpu_seconds << " s\n";
+    std::cout << "  cpu             : " << route.cpu_seconds << " s ("
+              << route.threads_used << " thread"
+              << (route.threads_used == 1 ? "" : "s") << ")\n";
     std::cout << "  merges          : " << route.stats.merges << " ("
               << route.stats.disjoint_merges << " cross-group, "
               << route.stats.root_snakes << " snaked, "

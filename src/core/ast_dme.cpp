@@ -10,7 +10,7 @@ namespace {
 /// One full bottom-up + top-down route under the given consistency mode.
 route_result run_once(const topo::instance& inst, const skew_spec& spec,
                       const router_options& opt, consistency_mode mode,
-                      std::chrono::steady_clock::time_point start) {
+                      routing_context& ctx) {
     topo::clock_tree t;
     auto roots = detail::make_leaves(inst, t, /*collapse_groups=*/false);
     offset_ledger ledger(inst.num_groups);
@@ -19,7 +19,7 @@ route_result run_once(const topo::instance& inst, const skew_spec& spec,
                         mode);
     solver.set_bind_deferral_bias(opt.bind_deferral_bias);
     return detail::finish_route(inst, solver, opt.engine, std::move(t),
-                                std::move(roots), start);
+                                std::move(roots), ctx);
 }
 
 /// True when every bound of the spec is exactly zero (the exact ledger's
@@ -32,20 +32,22 @@ bool all_zero(const skew_spec& spec) {
 
 }  // namespace
 
-route_result route_ast_dme(const topo::instance& inst, const skew_spec& spec,
-                           const router_options& opt, ast_mode mode) {
-    const auto start = std::chrono::steady_clock::now();
-    switch (mode) {
+namespace detail {
+
+route_result strategy_ast_dme(const routing_request& req,
+                              routing_context& ctx) {
+    const topo::instance& inst = *req.instance;
+    const skew_spec& spec = req.spec;
+    const router_options& opt = req.options;
+    switch (req.mode) {
         case ast_mode::windowed:
-            return run_once(inst, spec, opt, consistency_mode::windowed,
-                            start);
+            return run_once(inst, spec, opt, consistency_mode::windowed, ctx);
         case ast_mode::soft_ledger:
-            return run_once(inst, spec, opt, consistency_mode::soft, start);
+            return run_once(inst, spec, opt, consistency_mode::soft, ctx);
         case ast_mode::exact_ledger:
             if (!all_zero(spec))  // exact mode needs degenerate intervals
-                return run_once(inst, spec, opt, consistency_mode::soft,
-                                start);
-            return run_once(inst, spec, opt, consistency_mode::exact, start);
+                return run_once(inst, spec, opt, consistency_mode::soft, ctx);
+            return run_once(inst, spec, opt, consistency_mode::exact, ctx);
         case ast_mode::automatic:
             break;
     }
@@ -55,8 +57,21 @@ route_result route_ast_dme(const topo::instance& inst, const skew_spec& spec,
     // instability study), soft ledger for bounded specs (the exact ledger
     // needs degenerate delay intervals).
     if (all_zero(spec))
-        return run_once(inst, spec, opt, consistency_mode::exact, start);
-    return run_once(inst, spec, opt, consistency_mode::soft, start);
+        return run_once(inst, spec, opt, consistency_mode::exact, ctx);
+    return run_once(inst, spec, opt, consistency_mode::soft, ctx);
+}
+
+}  // namespace detail
+
+route_result route_ast_dme(const topo::instance& inst, const skew_spec& spec,
+                           const router_options& opt, ast_mode mode) {
+    routing_request req;
+    req.instance = &inst;
+    req.spec = spec;
+    req.options = opt;
+    req.strategy = strategy_id::ast_dme;
+    req.mode = mode;
+    return route(req);
 }
 
 }  // namespace astclk::core

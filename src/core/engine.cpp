@@ -3,16 +3,97 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
-#include <queue>
-#include <unordered_map>
+#include <optional>
 #include <unordered_set>
 #include <vector>
 
 namespace astclk::core {
 
+/// The buffers behind engine_scratch: everything a reduce run allocates
+/// that is independent of the instance being routed.  reset() fully
+/// reinitialises the *contents* while keeping the capacity, so a reused
+/// scratch produces bit-identical runs and merely skips the allocations.
+struct engine_scratch::impl {
+    struct sel_entry {
+        double key;   ///< ordering key: distance lower bound or cached cost
+        double dist;  ///< arc distance (stats baseline)
+        topo::node_id a, b;
+        std::uint32_t gen;  ///< gen[a] at push; mismatch = stale
+        bool cached;        ///< key is the true plan cost
+    };
+    struct rad_entry {
+        double dist;
+        topo::node_id a;
+        std::uint32_t gen;
+    };
+
+    std::unordered_set<std::uint64_t> banned;
+    pair_cost_cache cost_cache;
+    std::vector<topo::node_id> nn_to;  ///< id -> current NN (knull: none)
+    std::vector<double> nn_dist;       ///< id -> distance to nn_to
+    std::vector<std::uint32_t> gen;    ///< id -> generation counter
+    std::vector<std::vector<topo::node_id>> rev;  ///< id -> roots whose NN it is
+    std::unordered_set<topo::node_id> starved;    ///< all partners banned
+    std::vector<sel_entry> heap;    ///< selection min-heap (push_heap/pop_heap)
+    std::vector<rad_entry> radius;  ///< influence-radius max-heap
+    // Multi-merge round buffers (slot-indexed NN records, pre-solved plans).
+    std::vector<std::pair<topo::node_id, double>> round_nn;
+    std::vector<std::optional<merge_plan>> round_plans;
+
+    /// Reinitialise for a run over a tree that currently has `ids` nodes.
+    void reset(std::size_t ids) {
+        banned.clear();
+        cost_cache.clear();
+        starved.clear();
+        heap.clear();
+        radius.clear();
+        nn_to.assign(ids, topo::knull_node);
+        nn_dist.assign(ids, 0.0);
+        gen.assign(ids, 0);
+        if (rev.size() < ids) rev.resize(ids);
+        for (auto& r : rev) r.clear();
+    }
+};
+
+engine_scratch::engine_scratch() : p_(std::make_unique<impl>()) {}
+engine_scratch::~engine_scratch() = default;
+engine_scratch::engine_scratch(engine_scratch&&) noexcept = default;
+engine_scratch& engine_scratch::operator=(engine_scratch&&) noexcept = default;
+
 namespace {
 
 constexpr double kcost_slack = 1e-9;  // layout units
+
+using sel_entry = engine_scratch::impl::sel_entry;
+using rad_entry = engine_scratch::impl::rad_entry;
+
+struct sel_order {  // min-heap on (key, a, b)
+    bool operator()(const sel_entry& x, const sel_entry& y) const {
+        if (x.key != y.key) return x.key > y.key;
+        if (x.a != y.a) return x.a > y.a;
+        return x.b > y.b;
+    }
+};
+struct rad_order {  // max-heap on dist
+    bool operator()(const rad_entry& x, const rad_entry& y) const {
+        return x.dist < y.dist;
+    }
+};
+
+// std::priority_queue is specified as push_back+push_heap / pop_heap+
+// pop_back over its container, so driving the scratch vectors through the
+// heap algorithms directly is bit-identical to the former priority_queue
+// members — and lets the storage be reused across runs.
+template <class Cmp, class T>
+void heap_push(std::vector<T>& h, const T& e) {
+    h.push_back(e);
+    std::push_heap(h.begin(), h.end(), Cmp{});
+}
+template <class Cmp, class T>
+void heap_pop(std::vector<T>& h) {
+    std::pop_heap(h.begin(), h.end(), Cmp{});
+    h.pop_back();
+}
 
 /// Inlined ban predicate: no std::function on the hot path.
 struct ban_table {
@@ -67,15 +148,16 @@ std::pair<topo::node_id, topo::node_id> forced_nearest_pair(
 
 /// One nearest-pair reduction run: the heap-driven selection loop with
 /// incremental neighbour maintenance, templated over the NN backend so the
-/// ban predicate and distance loops fully inline for both.
+/// ban predicate and distance loops fully inline for both.  All mutable
+/// run state lives in the borrowed engine_scratch::impl.
 template <class Index>
 class nearest_reducer {
   public:
     nearest_reducer(const merge_solver& solver, const engine_options& opt,
                     topo::clock_tree& t, const std::vector<topo::node_id>& roots,
-                    engine_stats& st)
-        : solver_(solver), opt_(opt), t_(t), st_(st), idx_(&t, roots) {
-        grow(static_cast<topo::node_id>(t_.size()) - 1);
+                    engine_stats& st, engine_scratch::impl& s)
+        : solver_(solver), opt_(opt), t_(t), st_(st), s_(s), idx_(&t, roots) {
+        s_.reset(t_.size());
         for (topo::node_id r : roots) recompute(r);
     }
 
@@ -90,7 +172,7 @@ class nearest_reducer {
             (void)gen;
             auto plan = solver_.plan(t_, a, b);
             if (!plan.has_value()) {
-                banned_.insert(pair_key(a, b));
+                s_.banned.insert(pair_key(a, b));
                 ++st_.rejected_pairs;
                 recompute(a);
                 recompute(b);
@@ -101,8 +183,9 @@ class nearest_reducer {
                 // Lazy re-key: the true cost (snaking and any deferral bias
                 // included) exceeds the distance bound — another pair may
                 // now be cheaper.
-                cost_cache_.store(pair_key(a, b), plan->order_cost);
-                heap_.push({plan->order_cost, dist, a, b, gen_at(a), true});
+                s_.cost_cache.store(pair_key(a, b), plan->order_cost);
+                heap_push<sel_order>(
+                    s_.heap, {plan->order_cost, dist, a, b, gen_at(a), true});
                 continue;
             }
             const topo::node_id c = solver_.commit(t_, a, b, *plan);
@@ -113,42 +196,17 @@ class nearest_reducer {
     }
 
   private:
-    struct sel_entry {
-        double key;   ///< ordering key: distance lower bound or cached cost
-        double dist;  ///< arc distance (stats baseline)
-        topo::node_id a, b;
-        std::uint32_t gen;  ///< gen_[a] at push; mismatch = stale
-        bool cached;        ///< key is the true plan cost
-    };
-    struct sel_order {  // min-heap on (key, a, b)
-        bool operator()(const sel_entry& x, const sel_entry& y) const {
-            if (x.key != y.key) return x.key > y.key;
-            if (x.a != y.a) return x.a > y.a;
-            return x.b > y.b;
-        }
-    };
-    struct rad_entry {
-        double dist;
-        topo::node_id a;
-        std::uint32_t gen;
-    };
-    struct rad_order {  // max-heap on dist
-        bool operator()(const rad_entry& x, const rad_entry& y) const {
-            return x.dist < y.dist;
-        }
-    };
-
     void grow(topo::node_id max_id) {
         const auto need = static_cast<std::size_t>(max_id) + 1;
-        if (nn_to_.size() >= need) return;
-        nn_to_.resize(need, topo::knull_node);
-        nn_dist_.resize(need, 0.0);
-        gen_.resize(need, 0);
-        rev_.resize(need);
+        if (s_.nn_to.size() >= need) return;
+        s_.nn_to.resize(need, topo::knull_node);
+        s_.nn_dist.resize(need, 0.0);
+        s_.gen.resize(need, 0);
+        if (s_.rev.size() < need) s_.rev.resize(need);
     }
 
     [[nodiscard]] std::uint32_t gen_at(topo::node_id i) const {
-        return gen_[static_cast<std::size_t>(i)];
+        return s_.gen[static_cast<std::size_t>(i)];
     }
 
     /// Point i's nearest-neighbour record at (j, d); maintains the reverse
@@ -156,27 +214,29 @@ class nearest_reducer {
     /// "no eligible partner" (all banned) and parks i in the starved set.
     void set_nn(topo::node_id i, topo::node_id j, double d) {
         const auto si = static_cast<std::size_t>(i);
-        const topo::node_id old = nn_to_[si];
+        const topo::node_id old = s_.nn_to[si];
         if (old != topo::knull_node) {
-            auto& r = rev_[static_cast<std::size_t>(old)];
+            auto& r = s_.rev[static_cast<std::size_t>(old)];
             r.erase(std::find(r.begin(), r.end(), i));
         }
-        nn_to_[si] = j;
-        nn_dist_[si] = d;
-        ++gen_[si];
+        s_.nn_to[si] = j;
+        s_.nn_dist[si] = d;
+        ++s_.gen[si];
         if (j == topo::knull_node) {
-            starved_.insert(i);
+            s_.starved.insert(i);
             return;
         }
-        starved_.erase(i);
-        rev_[static_cast<std::size_t>(j)].push_back(i);
-        const auto cv = cost_cache_.lookup(pair_key(i, j));
-        heap_.push({cv.value_or(d), d, i, j, gen_[si], cv.has_value()});
-        radius_.push({d, i, gen_[si]});
+        s_.starved.erase(i);
+        s_.rev[static_cast<std::size_t>(j)].push_back(i);
+        const auto cv = s_.cost_cache.lookup(pair_key(i, j));
+        heap_push<sel_order>(s_.heap,
+                             {cv.value_or(d), d, i, j, s_.gen[si],
+                              cv.has_value()});
+        heap_push<rad_order>(s_.radius, {d, i, s_.gen[si]});
     }
 
     void recompute(topo::node_id i) {
-        const auto n = idx_.nearest_if(i, ban_table{&banned_});
+        const auto n = idx_.nearest_if(i, ban_table{&s_.banned});
         if (n.has_value())
             set_nn(i, n->first, n->second);
         else
@@ -186,14 +246,15 @@ class nearest_reducer {
     /// Pop one live entry off the heap: skips superseded generations and
     /// lazily re-keys entries whose cached true cost exceeds their key.
     std::optional<sel_entry> pop_valid() {
-        while (!heap_.empty()) {
-            const sel_entry e = heap_.top();
-            heap_.pop();
+        while (!s_.heap.empty()) {
+            const sel_entry e = s_.heap.front();
+            heap_pop<sel_order>(s_.heap);
             if (e.gen != gen_at(e.a)) continue;  // superseded or erased
             if (!e.cached) {
-                if (const auto cv = cost_cache_.lookup(pair_key(e.a, e.b));
+                if (const auto cv = s_.cost_cache.lookup(pair_key(e.a, e.b));
                     cv.has_value() && *cv > e.key) {
-                    heap_.push({*cv, e.dist, e.a, e.b, e.gen, true});
+                    heap_push<sel_order>(s_.heap,
+                                         {*cv, e.dist, e.a, e.b, e.gen, true});
                     continue;
                 }
             }
@@ -212,14 +273,15 @@ class nearest_reducer {
         auto best = pop_valid();
         if (!best.has_value()) return std::nullopt;
         std::vector<sel_entry> losers;
-        while (!heap_.empty() && heap_.top().key == best->key) {
-            const sel_entry e = heap_.top();
-            heap_.pop();
+        while (!s_.heap.empty() && s_.heap.front().key == best->key) {
+            const sel_entry e = s_.heap.front();
+            heap_pop<sel_order>(s_.heap);
             if (e.gen != gen_at(e.a)) continue;
             if (!e.cached) {
-                if (const auto cv = cost_cache_.lookup(pair_key(e.a, e.b));
+                if (const auto cv = s_.cost_cache.lookup(pair_key(e.a, e.b));
                     cv.has_value() && *cv > e.key) {
-                    heap_.push({*cv, e.dist, e.a, e.b, e.gen, true});
+                    heap_push<sel_order>(s_.heap,
+                                         {*cv, e.dist, e.a, e.b, e.gen, true});
                     continue;  // re-keyed above the group; out of contention
                 }
             }
@@ -230,7 +292,7 @@ class nearest_reducer {
                 losers.push_back(e);
             }
         }
-        for (const sel_entry& l : losers) heap_.push(l);
+        for (const sel_entry& l : losers) heap_push<sel_order>(s_.heap, l);
         return best;
     }
 
@@ -238,10 +300,10 @@ class nearest_reducer {
     /// nn distance over active roots (stale heap tops are discarded; any
     /// survivor only overestimates, which is admissible).
     double current_radius() {
-        while (!radius_.empty()) {
-            const rad_entry e = radius_.top();
+        while (!s_.radius.empty()) {
+            const rad_entry e = s_.radius.front();
             if (e.gen == gen_at(e.a)) return e.dist;
-            radius_.pop();
+            heap_pop<rad_order>(s_.radius);
         }
         return 0.0;
     }
@@ -249,14 +311,14 @@ class nearest_reducer {
     void erase_node(topo::node_id i) {
         idx_.erase(i);
         const auto si = static_cast<std::size_t>(i);
-        const topo::node_id old = nn_to_[si];
+        const topo::node_id old = s_.nn_to[si];
         if (old != topo::knull_node) {
-            auto& r = rev_[static_cast<std::size_t>(old)];
+            auto& r = s_.rev[static_cast<std::size_t>(old)];
             r.erase(std::find(r.begin(), r.end(), i));
         }
-        nn_to_[si] = topo::knull_node;
-        ++gen_[si];  // invalidates every heap entry owned by i
-        starved_.erase(i);
+        s_.nn_to[si] = topo::knull_node;
+        ++s_.gen[si];  // invalidates every heap entry owned by i
+        s_.starved.erase(i);
     }
 
     /// Post-commit maintenance: merged pair out, new root in, and only the
@@ -269,35 +331,35 @@ class nearest_reducer {
     void integrate(topo::node_id a, topo::node_id b, topo::node_id c) {
         grow(c);
         std::vector<topo::node_id> affected;
-        for (topo::node_id i : rev_[static_cast<std::size_t>(a)])
+        for (topo::node_id i : s_.rev[static_cast<std::size_t>(a)])
             if (i != b) affected.push_back(i);
-        for (topo::node_id i : rev_[static_cast<std::size_t>(b)])
+        for (topo::node_id i : s_.rev[static_cast<std::size_t>(b)])
             if (i != a) affected.push_back(i);
         erase_node(a);
         erase_node(b);
-        rev_[static_cast<std::size_t>(a)].clear();
-        rev_[static_cast<std::size_t>(b)].clear();
+        s_.rev[static_cast<std::size_t>(a)].clear();
+        s_.rev[static_cast<std::size_t>(b)].clear();
         // The affected roots' reverse-list entries died with those clears;
         // void their records so the recompute below doesn't unlink twice.
         for (topo::node_id i : affected)
-            nn_to_[static_cast<std::size_t>(i)] = topo::knull_node;
+            s_.nn_to[static_cast<std::size_t>(i)] = topo::knull_node;
         idx_.insert(c);
         for (topo::node_id i : affected) recompute(i);
-        if (!starved_.empty()) {
-            const std::vector<topo::node_id> snapshot(starved_.begin(),
-                                                      starved_.end());
-            const geom::tilted_rect& arc_c = t_.node(c).arc;
+        if (!s_.starved.empty()) {
+            const std::vector<topo::node_id> snapshot(s_.starved.begin(),
+                                                      s_.starved.end());
+            const geom::tilted_rect& arc_c0 = t_.node(c).arc;
             for (topo::node_id i : snapshot)
-                set_nn(i, c, t_.node(i).arc.distance(arc_c));
+                set_nn(i, c, t_.node(i).arc.distance(arc_c0));
         }
         const double radius = current_radius();
         const geom::tilted_rect& arc_c = t_.node(c).arc;
         idx_.for_each_within(arc_c, radius, [&](topo::node_id i) {
             if (i == c) return;
             const auto si = static_cast<std::size_t>(i);
-            if (nn_to_[si] == c) return;  // already folded (duplicate visit)
+            if (s_.nn_to[si] == c) return;  // already folded (duplicate visit)
             const double d = t_.node(i).arc.distance(arc_c);
-            if (d < nn_dist_[si]) set_nn(i, c, d);
+            if (d < s_.nn_dist[si]) set_nn(i, c, d);
         });
         recompute(c);
     }
@@ -320,17 +382,8 @@ class nearest_reducer {
     const engine_options& opt_;
     topo::clock_tree& t_;
     engine_stats& st_;
+    engine_scratch::impl& s_;
     Index idx_;
-
-    std::unordered_set<std::uint64_t> banned_;
-    pair_cost_cache cost_cache_;
-    std::vector<topo::node_id> nn_to_;   ///< id -> current NN (knull: none)
-    std::vector<double> nn_dist_;        ///< id -> distance to nn_to_
-    std::vector<std::uint32_t> gen_;     ///< id -> generation counter
-    std::vector<std::vector<topo::node_id>> rev_;  ///< id -> roots whose NN it is
-    std::unordered_set<topo::node_id> starved_;    ///< all partners banned
-    std::priority_queue<sel_entry, std::vector<sel_entry>, sel_order> heap_;
-    std::priority_queue<rad_entry, std::vector<rad_entry>, rad_order> radius_;
 };
 
 template <class Index>
@@ -338,42 +391,61 @@ topo::node_id reduce_nearest_impl(const merge_solver& solver,
                                   const engine_options& opt,
                                   topo::clock_tree& t,
                                   const std::vector<topo::node_id>& roots,
-                                  engine_stats& st) {
-    nearest_reducer<Index> r(solver, opt, t, roots, st);
+                                  engine_stats& st, engine_scratch::impl& s) {
+    nearest_reducer<Index> r(solver, opt, t, roots, st, s);
     return r.run();
 }
 
+/// Edahiro-style multi-merge rounds.  Per round, the nearest-neighbour
+/// queries are pure reads over the tree and index and fan out across the
+/// executor; the plan() calls of the round's candidates do too when the
+/// solver carries no offset ledger (mutually-nearest pairs are
+/// vertex-disjoint — each root has exactly one NN — so their plans read
+/// disjoint subtrees, and commits of one pair cannot change another pair's
+/// plan).  Ledger-backed solvers keep planning sequential, because plans
+/// read offsets that earlier commits of the same round bind.  Commits are
+/// always applied sequentially in the deterministic (d, a, b) candidate
+/// order, so threaded rounds are bit-identical to sequential ones.
 template <class Index>
 topo::node_id reduce_multi_impl(const merge_solver& solver,
+                                const engine_options& opt,
                                 topo::clock_tree& t,
                                 const std::vector<topo::node_id>& roots,
-                                engine_stats& st) {
+                                engine_stats& st, engine_scratch::impl& s) {
     Index idx(&t, roots);
-    std::unordered_set<std::uint64_t> banned;
-    const ban_table banned_fn{&banned};
+    s.banned.clear();
+    const ban_table banned_fn{&s.banned};
+    task_executor* exec = opt.executor;
+    const bool parallel_plans = exec != nullptr && solver.ledger() == nullptr;
+
+    struct cand {
+        topo::node_id a, b;
+        double d;
+    };
+    std::vector<cand> cands;
 
     while (idx.size() > 1) {
         ++st.rounds;
-        // Fresh nearest neighbours each round.
-        std::unordered_map<topo::node_id, std::pair<topo::node_id, double>> nn;
-        nn.reserve(idx.size());
-        for (topo::node_id i : idx.active()) {
-            if (auto n = idx.nearest_if(i, banned_fn)) nn[i] = *n;
-        }
+        // Fresh nearest neighbours each round, slot-indexed so the fan-out
+        // writes disjoint slots (deterministic regardless of schedule).
+        const std::vector<topo::node_id>& act = idx.active();
+        const std::size_t m = act.size();
+        s.round_nn.assign(m, {topo::knull_node, 0.0});
+        auto& nn = s.round_nn;
+        run_indexed(exec, m, [&](std::size_t k) {
+            if (const auto n = idx.nearest_if(act[k], banned_fn)) nn[k] = *n;
+        });
+
         // Mutually nearest pairs, cheapest first (Edahiro's multi-merge);
         // full (d, a, b) ordering keeps rounds deterministic across
-        // backends and runs.
-        struct cand {
-            topo::node_id a, b;
-            double d;
-        };
-        std::vector<cand> cands;
-        for (const auto& [i, n] : nn) {
-            const auto [j, d] = n;
-            if (j < i) continue;  // dedup (i, j) with i < j
-            auto jt = nn.find(j);
-            if (jt != nn.end() && jt->second.first == i)
-                cands.push_back({i, j, d});
+        // backends, thread counts and runs.
+        cands.clear();
+        for (std::size_t k = 0; k < m; ++k) {
+            const auto [j, d] = nn[k];
+            const topo::node_id i = act[k];
+            if (j == topo::knull_node || j < i) continue;  // dedup i < j
+            const auto js = static_cast<std::size_t>(idx.slot_of(j));
+            if (nn[js].first == i) cands.push_back({i, j, d});
         }
         std::sort(cands.begin(), cands.end(),
                   [](const cand& x, const cand& y) {
@@ -382,20 +454,25 @@ topo::node_id reduce_multi_impl(const merge_solver& solver,
                       return x.b < y.b;
                   });
 
+        if (parallel_plans) {
+            s.round_plans.assign(cands.size(), std::nullopt);
+            run_indexed(exec, cands.size(), [&](std::size_t k) {
+                s.round_plans[k] = solver.plan(t, cands[k].a, cands[k].b);
+            });
+        }
+
         bool merged_any = false;
-        std::unordered_set<topo::node_id> used;
-        for (const cand& cd : cands) {
-            if (used.count(cd.a) || used.count(cd.b)) continue;
-            auto plan = solver.plan(t, cd.a, cd.b);
+        for (std::size_t k = 0; k < cands.size(); ++k) {
+            const cand& cd = cands[k];
+            auto plan = parallel_plans ? std::move(s.round_plans[k])
+                                       : solver.plan(t, cd.a, cd.b);
             if (!plan.has_value()) {
-                banned.insert(pair_key(cd.a, cd.b));
+                s.banned.insert(pair_key(cd.a, cd.b));
                 ++st.rejected_pairs;
                 continue;
             }
             const topo::node_id c = solver.commit(t, cd.a, cd.b, *plan);
             note_plan(*plan, cd.d, st);
-            used.insert(cd.a);
-            used.insert(cd.b);
             idx.erase(cd.a);
             idx.erase(cd.b);
             idx.insert(c);
@@ -421,19 +498,26 @@ topo::node_id reduce_multi_impl(const merge_solver& solver,
 
 topo::node_id bottom_up_engine::reduce(topo::clock_tree& t,
                                        std::vector<topo::node_id> roots,
-                                       engine_stats* stats) const {
+                                       engine_stats* stats,
+                                       engine_scratch* scratch) const {
     assert(!roots.empty());
     engine_stats local;
     engine_stats& st = stats ? *stats : local;
     if (roots.size() == 1) return roots.front();
+    std::unique_ptr<engine_scratch> own;  // fallback, built only if needed
+    if (scratch == nullptr) {
+        own = std::make_unique<engine_scratch>();
+        scratch = own.get();
+    }
+    engine_scratch::impl& s = scratch->state();
     if (opt_.order == merge_order::multi_merge) {
         if (opt_.backend == nn_backend::linear)
-            return reduce_multi_impl<nn_index>(solver_, t, roots, st);
-        return reduce_multi_impl<grid_index>(solver_, t, roots, st);
+            return reduce_multi_impl<nn_index>(solver_, opt_, t, roots, st, s);
+        return reduce_multi_impl<grid_index>(solver_, opt_, t, roots, st, s);
     }
     if (opt_.backend == nn_backend::linear)
-        return reduce_nearest_impl<nn_index>(solver_, opt_, t, roots, st);
-    return reduce_nearest_impl<grid_index>(solver_, opt_, t, roots, st);
+        return reduce_nearest_impl<nn_index>(solver_, opt_, t, roots, st, s);
+    return reduce_nearest_impl<grid_index>(solver_, opt_, t, roots, st, s);
 }
 
 }  // namespace astclk::core

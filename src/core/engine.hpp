@@ -35,11 +35,13 @@
 /// Ch. V-E) are banned and re-proposed only if nothing else remains, in
 /// which case a forced minimax merge keeps the algorithm total.
 
+#include "core/executor.hpp"
 #include "core/grid_index.hpp"
 #include "core/merge_solver.hpp"
 #include "core/nn_index.hpp"
 #include "topo/tree.hpp"
 
+#include <memory>
 #include <vector>
 
 namespace astclk::core {
@@ -64,6 +66,13 @@ struct engine_options {
     /// disabling reverts to pure arc-distance ordering (ablation knob).
     bool true_cost_ordering = true;
     nn_backend backend = nn_backend::grid;
+    /// Optional worker pool for multi-merge rounds (non-owning; null runs
+    /// sequentially).  Each round's nearest-neighbour queries fan out, and
+    /// so do the plan() calls when the solver carries no offset ledger
+    /// (ledger modes serialise planning because plans read offsets that
+    /// earlier commits of the same round bind).  The commit step is always
+    /// sequential, so trees are bit-identical to single-threaded runs.
+    task_executor* executor = nullptr;
 };
 
 struct engine_stats {
@@ -80,6 +89,25 @@ struct engine_stats {
     int rounds = 0;               ///< multi-merge rounds (if enabled)
 };
 
+/// Reusable buffers for the engine's selection state (NN records, reverse
+/// lists, heaps).  One reduce run fully reinitialises whatever it borrows,
+/// so reuse never changes results — it only skips the per-run allocations.
+/// Not thread-safe: one scratch serves one engine run at a time (the
+/// routing_context hands out one per concurrent request).
+class engine_scratch {
+  public:
+    engine_scratch();
+    ~engine_scratch();
+    engine_scratch(engine_scratch&&) noexcept;
+    engine_scratch& operator=(engine_scratch&&) noexcept;
+
+    struct impl;
+    [[nodiscard]] impl& state() { return *p_; }
+
+  private:
+    std::unique_ptr<impl> p_;
+};
+
 /// Merges a set of existing roots down to a single root.
 class bottom_up_engine {
   public:
@@ -89,9 +117,11 @@ class bottom_up_engine {
     [[nodiscard]] const merge_solver& solver() const { return solver_; }
 
     /// Repeatedly merge until one root remains; returns it.  `roots` must
-    /// be non-empty and refer to live roots of `t`.
+    /// be non-empty and refer to live roots of `t`.  `scratch`, when given,
+    /// lends its buffers to the run (identical results, fewer allocations).
     topo::node_id reduce(topo::clock_tree& t, std::vector<topo::node_id> roots,
-                         engine_stats* stats = nullptr) const;
+                         engine_stats* stats = nullptr,
+                         engine_scratch* scratch = nullptr) const;
 
   private:
     merge_solver solver_;

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file executor.hpp
+/// Minimal task-execution interface shared by the merge engine and the
+/// routing service (DESIGN.md §5).
+///
+/// The engine's multi-merge rounds and the service's batched requests both
+/// need "run these n independent jobs, possibly concurrently, and wait".
+/// `task_executor` is that contract and nothing more, so the engine stays
+/// free of threading machinery: a null executor (the default everywhere)
+/// means strictly sequential execution, and the service's thread pool
+/// plugs in without the engine knowing it exists.
+///
+/// Requirements on implementations:
+///  * `parallel_for(n, fn)` invokes `fn(i)` exactly once for every
+///    i in [0, n) and returns only after all invocations finished;
+///  * nested calls from inside a running job must not deadlock (the
+///    service's pool has the calling thread claim jobs itself);
+///  * if any `fn(i)` throws, one of the thrown exceptions is rethrown to
+///    the caller after the remaining jobs finished or were skipped.
+///
+/// Determinism note: callers must make results independent of execution
+/// order (each job writes its own slot).  Everything in this codebase that
+/// fans out — NN queries and plan() calls per multi-merge round, requests
+/// per batch — obeys that rule, which is why threaded runs are
+/// bit-identical to sequential ones.
+
+#include <cstddef>
+#include <functional>
+
+namespace astclk::core {
+
+class task_executor {
+  public:
+    virtual ~task_executor() = default;
+
+    /// Run `fn(0) .. fn(n-1)`, possibly concurrently; blocks until every
+    /// invocation completed.
+    virtual void parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) = 0;
+
+    /// Number of threads that may execute jobs simultaneously (>= 1; the
+    /// calling thread counts).
+    [[nodiscard]] virtual int concurrency() const noexcept = 0;
+};
+
+/// Sequential fallback: `exec == nullptr` runs the loop inline.
+inline void run_indexed(task_executor* exec, std::size_t n,
+                        const std::function<void(std::size_t)>& fn) {
+    if (exec == nullptr || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+    exec->parallel_for(n, fn);
+}
+
+}  // namespace astclk::core

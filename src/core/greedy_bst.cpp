@@ -3,14 +3,31 @@
 
 namespace astclk::core {
 
+namespace detail {
+
+route_result strategy_ext_bst(const routing_request& req,
+                              routing_context& ctx) {
+    const topo::instance& inst = *req.instance;
+    topo::clock_tree t;
+    auto roots = make_leaves(inst, t, /*collapse_groups=*/true);
+    // Groups are collapsed to synthetic group 0, so the request's
+    // default_bound is the single global bound of the EXT-BST baseline.
+    merge_solver solver(req.options.model,
+                        skew_spec::uniform(req.spec.default_bound));
+    return finish_route(inst, solver, req.options.engine, std::move(t),
+                        std::move(roots), ctx);
+}
+
+}  // namespace detail
+
 route_result route_ext_bst(const topo::instance& inst, double global_bound,
                            const router_options& opt) {
-    const auto start = std::chrono::steady_clock::now();
-    topo::clock_tree t;
-    auto roots = detail::make_leaves(inst, t, /*collapse_groups=*/true);
-    merge_solver solver(opt.model, skew_spec::uniform(global_bound));
-    return detail::finish_route(inst, solver, opt.engine, std::move(t),
-                                std::move(roots), start);
+    routing_request req;
+    req.instance = &inst;
+    req.spec = skew_spec::uniform(global_bound);
+    req.options = opt;
+    req.strategy = strategy_id::ext_bst;
+    return route(req);
 }
 
 }  // namespace astclk::core

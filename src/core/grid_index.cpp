@@ -7,13 +7,18 @@ namespace astclk::core {
 grid_index::grid_index(const topo::clock_tree* tree,
                        const std::vector<topo::node_id>& roots)
     : tree_(tree) {
-    // Bounds over the initial root arcs.  Future merging segments can
+    size_to(roots);
+    for (topo::node_id r : roots) insert(r);
+}
+
+void grid_index::size_to(const std::vector<topo::node_id>& items) {
+    // Bounds over the current arcs of `items`.  Future merging segments can
     // escape these bounds in the non-binding axis; range_of clamps them
     // into border cells, which keeps the ring lower bound admissible (see
     // the header).
     geom::interval bu = geom::interval::empty_set();
     geom::interval bv = geom::interval::empty_set();
-    for (topo::node_id r : roots) {
+    for (topo::node_id r : items) {
         const geom::tilted_rect& a = tree_->node(r).arc;
         bu = bu.hull(a.u());
         bv = bv.hull(a.v());
@@ -28,7 +33,7 @@ grid_index::grid_index(const topo::clock_tree* tree,
     const double extent = std::max(bu.length(), bv.length());
     const int target =
         std::max(1, static_cast<int>(std::ceil(
-                        std::sqrt(static_cast<double>(roots.size())))));
+                        std::sqrt(static_cast<double>(items.size())))));
     if (extent <= 0.0) {
         cell_ = 1.0;
         nu_ = nv_ = 1;
@@ -40,8 +45,7 @@ grid_index::grid_index(const topo::clock_tree* tree,
     inv_cell_ = 1.0 / cell_;
     cells_.assign(static_cast<std::size_t>(nu_) * static_cast<std::size_t>(nv_),
                   {});
-
-    for (topo::node_id r : roots) insert(r);
+    sized_for_ = std::max<std::size_t>(std::size_t{1}, items.size());
 }
 
 grid_index::cell_range grid_index::range_of(const geom::tilted_rect& r) const {
@@ -58,8 +62,7 @@ int grid_index::max_ring_from(const cell_range& q) const {
                     std::max(q.v0, nv_ - 1 - q.v1));
 }
 
-void grid_index::insert(topo::node_id id) {
-    set_.insert(id);
+void grid_index::place(topo::node_id id) {
     const auto i = static_cast<std::size_t>(id);
     if (i >= span_.size()) span_.resize(i + 1);
     const cell_range c = range_of(tree_->node(id).arc);
@@ -67,6 +70,11 @@ void grid_index::insert(topo::node_id id) {
     for (int cv = c.v0; cv <= c.v1; ++cv)
         for (int cu = c.u0; cu <= c.u1; ++cu)
             cells_[cell_at(cu, cv)].push_back(id);
+}
+
+void grid_index::insert(topo::node_id id) {
+    set_.insert(id);
+    place(id);
 }
 
 void grid_index::erase(topo::node_id id) {
@@ -84,6 +92,18 @@ void grid_index::erase(topo::node_id id) {
                 }
             }
         }
+    // Occupancy-adaptive rebuild: once the survivors are below 1/4 of the
+    // sizing population, re-derive bounds and cell size from their current
+    // arcs so expected occupancy returns to ~1 per cell.
+    if (set_.size() >= kmin_rebuild_population &&
+        set_.size() * 4 < sized_for_)
+        rebuild();
+}
+
+void grid_index::rebuild() {
+    ++rebuilds_;
+    size_to(set_.items());
+    for (topo::node_id id : set_.items()) place(id);
 }
 
 }  // namespace astclk::core

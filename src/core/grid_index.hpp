@@ -34,6 +34,16 @@
 ///
 /// Cell size is chosen for ~O(1) expected occupancy: the bounding extent
 /// divided by ceil(sqrt(n)) cells per axis.
+///
+/// **Occupancy-adaptive rebuild**: the active set shrinks as the engine
+/// merges (two roots out, one in per commit), so cells sized for the
+/// initial population go mostly empty and ring expansions walk farther.
+/// When the active set drops below 1/4 of the population the grid was last
+/// sized for, `erase` rebuilds the grid over the survivors' current arcs
+/// with correspondingly larger cells.  Rebuilds never change any answer:
+/// `nearest_if` is exact for every cell size (the ring lower bound is
+/// admissible regardless), `for_each_within` stays an admissible superset,
+/// and the active_set — the engine's slot tie-break — is untouched.
 
 #include "core/nn_index.hpp"
 #include "topo/tree.hpp"
@@ -65,6 +75,9 @@ class grid_index {
     [[nodiscard]] std::int32_t slot_of(topo::node_id id) const {
         return set_.slot_of(id);
     }
+
+    /// How many occupancy-adaptive rebuilds have run (diagnostics/tests).
+    [[nodiscard]] int rebuilds() const { return rebuilds_; }
 
     /// Nearest active root to `id` by arc distance, skipping `id` itself
     /// and banned partners; identical contract (including id tie-breaks) to
@@ -113,6 +126,18 @@ class grid_index {
     struct cell_range {
         int u0 = 0, u1 = 0, v0 = 0, v1 = 0;
     };
+
+    /// Below this population the adaptive rebuild stops bothering: the
+    /// whole grid is a handful of cells either way.
+    static constexpr std::size_t kmin_rebuild_population = 16;
+
+    /// Size origin/cell/cells_ for `items` (bounds from their current
+    /// arcs); does not touch the active_set registration.
+    void size_to(const std::vector<topo::node_id>& items);
+    /// Register an id's arc in the covering cells (set_ handled by caller).
+    void place(topo::node_id id);
+    /// Re-size and re-place every active id over its current arc.
+    void rebuild();
 
     [[nodiscard]] std::size_t cell_at(int cu, int cv) const {
         return static_cast<std::size_t>(cv) * static_cast<std::size_t>(nu_) +
@@ -163,6 +188,8 @@ class grid_index {
     double cell_ = 1.0;               ///< cell side, tilted units
     double inv_cell_ = 1.0;
     int nu_ = 1, nv_ = 1;
+    std::size_t sized_for_ = 1;  ///< population the cells were sized for
+    int rebuilds_ = 0;           ///< occupancy-adaptive rebuild count
 };
 
 }  // namespace astclk::core

@@ -60,6 +60,9 @@ class pair_cost_cache {
         return it->second;
     }
 
+    /// Drop every entry (engine_scratch reuse between runs).
+    void clear() { costs_.clear(); }
+
   private:
     std::unordered_map<std::uint64_t, double> costs_;
 };

@@ -1,0 +1,93 @@
+#include "core/route_context.hpp"
+
+#include "gen/grouping.hpp"
+
+#include <sstream>
+
+namespace astclk::core {
+
+namespace {
+
+/// Cache key covering every field of an instance_spec: two specs that
+/// differ anywhere must not share a generated instance.
+std::string spec_key(const gen::instance_spec& s) {
+    std::ostringstream os;
+    os.precision(17);
+    os << s.name << '|' << s.num_sinks << '|' << s.die << '|' << s.cap_min
+       << '|' << s.cap_max << '|' << s.cluster_fraction << '|'
+       << s.num_clusters << '|' << s.cluster_radius << '|' << s.seed;
+    return os.str();
+}
+
+}  // namespace
+
+const topo::instance& routing_context::instance(
+    const std::string& key, const std::function<topo::instance()>& build) {
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        const auto it = instances_.find(key);
+        if (it != instances_.end()) return *it->second;
+    }
+    // Build outside the lock (generation can be slow).  On a build race
+    // the first writer wins and later builds are discarded — harmless,
+    // since builds for one key are deterministic and identical.
+    auto built = std::make_unique<topo::instance>(build());
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& slot = instances_[key];
+    if (!slot) slot = std::move(built);
+    return *slot;
+}
+
+const topo::instance& routing_context::generated(
+    const gen::instance_spec& spec) {
+    return instance(spec_key(spec) + "|plain",
+                    [&] { return gen::generate(spec); });
+}
+
+const topo::instance& routing_context::clustered(
+    const gen::instance_spec& spec, int groups) {
+    return instance(spec_key(spec) + "|box" + std::to_string(groups), [&] {
+        auto inst = gen::generate(spec);
+        gen::apply_clustered_groups(inst, groups);
+        return inst;
+    });
+}
+
+const topo::instance& routing_context::intermingled(
+    const gen::instance_spec& spec, int groups, std::uint64_t seed) {
+    return instance(spec_key(spec) + "|mix" + std::to_string(groups) + "@" +
+                        std::to_string(seed),
+                    [&] {
+                        auto inst = gen::generate(spec);
+                        gen::apply_intermingled_groups(inst, groups, seed);
+                        return inst;
+                    });
+}
+
+std::size_t routing_context::cached_instances() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return instances_.size();
+}
+
+routing_context::scratch_lease::~scratch_lease() {
+    if (ctx_ != nullptr && s_ != nullptr) ctx_->release(std::move(s_));
+}
+
+routing_context::scratch_lease routing_context::scratch() {
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!pool_.empty()) {
+            auto s = std::move(pool_.back());
+            pool_.pop_back();
+            return {this, std::move(s)};
+        }
+    }
+    return {this, std::make_unique<engine_scratch>()};
+}
+
+void routing_context::release(std::unique_ptr<engine_scratch> s) {
+    std::lock_guard<std::mutex> lk(mu_);
+    pool_.push_back(std::move(s));
+}
+
+}  // namespace astclk::core

@@ -1,0 +1,173 @@
+#include "core/route_service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace astclk::core {
+
+// ---------------------------------------------------------- thread_pool
+
+struct thread_pool::impl {
+    struct job {
+        const std::function<void(std::size_t)>* fn = nullptr;
+        std::size_t n = 0;
+        std::atomic<std::size_t> next{0};  ///< next unclaimed index
+        std::atomic<std::size_t> done{0};  ///< completed invocations
+        std::exception_ptr error;          ///< first exception wins (mu_)
+        std::condition_variable cv_done;
+    };
+
+    std::mutex mu_;
+    std::condition_variable cv_work_;
+    std::deque<std::shared_ptr<job>> queue_;
+    std::vector<std::thread> workers_;
+    bool stop_ = false;
+
+    /// Claim and run indices of `j` until none remain.  Exceptions are
+    /// recorded on the job (first wins); every claimed index counts as
+    /// done either way, so waiters always unblock.  The pool mutex is only
+    /// touched to record an error and by the last finisher (fine-grained
+    /// fan-outs — thousands of sub-microsecond NN queries per multi-merge
+    /// round — must not serialise on a per-index lock).
+    void run_jobs(const std::shared_ptr<job>& j) {
+        for (;;) {
+            const std::size_t i =
+                j->next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= j->n) return;
+            try {
+                (*j->fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(mu_);
+                if (!j->error) j->error = std::current_exception();
+            }
+            if (j->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                j->n) {
+                // Lock before notifying so the waiter cannot check the
+                // predicate and sleep between our increment and notify.
+                std::lock_guard<std::mutex> lk(mu_);
+                j->cv_done.notify_all();
+            }
+        }
+    }
+
+    void worker_loop() {
+        for (;;) {
+            std::shared_ptr<job> j;
+            {
+                std::unique_lock<std::mutex> lk(mu_);
+                cv_work_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+                if (stop_) return;
+                j = queue_.front();
+                if (j->next.load(std::memory_order_relaxed) >= j->n) {
+                    // Fully claimed (maybe still finishing): retire it from
+                    // the queue so workers move on to the next job.
+                    queue_.pop_front();
+                    continue;
+                }
+            }
+            run_jobs(j);
+        }
+    }
+};
+
+thread_pool::thread_pool(int threads) : p_(std::make_unique<impl>()) {
+    const int n = std::max(1, threads);
+    p_->workers_.reserve(static_cast<std::size_t>(n - 1));
+    for (int i = 0; i < n - 1; ++i)
+        p_->workers_.emplace_back([s = p_.get()] { s->worker_loop(); });
+}
+
+thread_pool::~thread_pool() {
+    {
+        std::lock_guard<std::mutex> lk(p_->mu_);
+        p_->stop_ = true;
+    }
+    p_->cv_work_.notify_all();
+    for (std::thread& w : p_->workers_) w.join();
+}
+
+int thread_pool::concurrency() const noexcept {
+    return static_cast<int>(p_->workers_.size()) + 1;
+}
+
+void thread_pool::parallel_for(std::size_t n,
+                               const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    impl& s = *p_;
+    if (s.workers_.empty() || n == 1) {
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+    auto j = std::make_shared<impl::job>();
+    j->fn = &fn;
+    j->n = n;
+    {
+        std::lock_guard<std::mutex> lk(s.mu_);
+        s.queue_.push_back(j);
+    }
+    s.cv_work_.notify_all();
+    s.run_jobs(j);  // the caller always participates
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lk(s.mu_);
+        const auto it = std::find(s.queue_.begin(), s.queue_.end(), j);
+        if (it != s.queue_.end()) s.queue_.erase(it);
+        j->cv_done.wait(
+            lk, [&] { return j->done.load(std::memory_order_acquire) ==
+                             j->n; });
+        err = j->error;
+    }
+    if (err) std::rethrow_exception(err);
+}
+
+// --------------------------------------------------------- route_service
+
+route_service::route_service(service_options opt)
+    : opt_(opt), ctx_(opt.model) {
+    int threads = opt_.threads;
+    if (threads <= 0)
+        threads = static_cast<int>(
+            std::max(1u, std::thread::hardware_concurrency()));
+    pool_ = std::make_unique<thread_pool>(threads);
+}
+
+route_service::~route_service() = default;
+
+task_executor& route_service::executor() { return *pool_; }
+
+int route_service::threads() const { return pool_->concurrency(); }
+
+route_result route_service::route_one(routing_request req) {
+    if (opt_.parallel_rounds && req.options.engine.executor == nullptr)
+        req.options.engine.executor = pool_.get();
+    // threads_used is derived by the dispatch from the executor the run
+    // actually carried — a caller-supplied executor or a disabled
+    // parallel_rounds must not be misreported as the pool's width.
+    return core::route(req, ctx_);
+}
+
+route_result route_service::route(routing_request req) {
+    return route_one(std::move(req));
+}
+
+std::vector<batch_entry> route_service::route_batch(
+    const std::vector<routing_request>& requests) {
+    std::vector<batch_entry> out(requests.size());
+    pool_->parallel_for(requests.size(), [&](std::size_t i) {
+        try {
+            out[i].result = route_one(requests[i]);
+        } catch (const std::exception& e) {
+            out[i].error = e.what();
+        } catch (...) {
+            out[i].error = "unknown error";
+        }
+    });
+    return out;
+}
+
+}  // namespace astclk::core

@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file route_service.hpp
+/// Batched, multi-threaded front-end over the strategy registry
+/// (DESIGN.md §5) — the serving spine for many concurrent route requests.
+///
+/// A route_service owns
+///  * a routing_context (shared delay model, instance cache, scratch pool),
+///  * a thread_pool implementing task_executor.
+///
+/// `route_batch` fans the requests of a batch across the pool; each
+/// request additionally carries the pool down into the merge engine, whose
+/// multi-merge rounds fan their nearest-neighbour queries and plan() calls
+/// out over the same threads (engine.hpp).  Both levels obey the
+/// write-your-own-slot rule, so batched, threaded runs return results
+/// bit-identical to direct single-threaded router calls — thread counts
+/// change wall-clock, never trees.
+///
+/// Failure isolation: each batch entry catches its own exceptions; one
+/// malformed request reports an error string while the rest of the batch
+/// completes normally.
+
+#include "core/executor.hpp"
+#include "core/route_context.hpp"
+#include "core/strategy.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace astclk::core {
+
+/// Work-sharing pool of worker threads behind the task_executor contract.
+/// `thread_pool(n)` spawns n-1 workers: the thread calling parallel_for
+/// always participates (and claims everything itself when the workers are
+/// busy), which is what makes nested parallel_for calls — batch level over
+/// engine level — deadlock-free.
+class thread_pool final : public task_executor {
+  public:
+    /// `threads` <= 1 means no workers (parallel_for runs inline).
+    explicit thread_pool(int threads);
+    ~thread_pool() override;
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    void parallel_for(std::size_t n,
+                      const std::function<void(std::size_t)>& fn) override;
+    [[nodiscard]] int concurrency() const noexcept override;
+
+  private:
+    struct impl;
+    std::unique_ptr<impl> p_;
+};
+
+struct service_options {
+    /// Worker-thread budget; 0 picks std::thread::hardware_concurrency().
+    int threads = 0;
+    /// Default delay model of the owned routing_context.
+    rc::delay_model model = rc::delay_model::elmore();
+    /// Hand the pool to the engine so multi-merge rounds fan out; requests
+    /// that already carry an executor keep theirs.
+    bool parallel_rounds = true;
+};
+
+/// One batch slot: the routed result, or the error that request raised.
+struct batch_entry {
+    route_result result;  ///< valid when `error` is empty
+    std::string error;    ///< exception message of a failed request
+    [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+class route_service {
+  public:
+    explicit route_service(service_options opt = {});
+    ~route_service();
+
+    route_service(const route_service&) = delete;
+    route_service& operator=(const route_service&) = delete;
+
+    [[nodiscard]] routing_context& context() { return ctx_; }
+    [[nodiscard]] task_executor& executor();
+    /// Threads that may execute work simultaneously (workers + caller).
+    [[nodiscard]] int threads() const;
+
+    /// Route one request on the service's context (timing recorded by the
+    /// strategy dispatch; threads_used reflects the pool).  Propagates
+    /// exceptions — isolation is a batch-level concern.
+    route_result route(routing_request req);
+
+    /// Route a batch concurrently; results[i] always corresponds to
+    /// requests[i], and every entry is either a result or that request's
+    /// error message.
+    std::vector<batch_entry> route_batch(
+        const std::vector<routing_request>& requests);
+
+  private:
+    route_result route_one(routing_request req);
+
+    service_options opt_;
+    routing_context ctx_;
+    std::unique_ptr<thread_pool> pool_;
+};
+
+}  // namespace astclk::core

@@ -15,6 +15,11 @@
 ///  * `route_separate_stitch` — the prior work's strategy [12]: a separate
 ///                            zero-skew tree per group, stitched together
 ///                            afterwards (the strawman of Fig. 2).
+///
+/// All four are thin wrappers over the routing-service layer (strategy.hpp:
+/// `routing_request` → `route()` dispatch through the strategy registry);
+/// batch execution and state sharing live in route_service.hpp /
+/// route_context.hpp (DESIGN.md §4-§5).
 
 #include "core/embedder.hpp"
 #include "core/engine.hpp"
@@ -29,7 +34,11 @@ struct route_result {
     engine_stats stats;
     embed_report embed;
     double wirelength = 0.0;   ///< total electrical wirelength (paper metric)
-    double cpu_seconds = 0.0;  ///< wall time of the route call
+    /// Wall time of the strategy body, measured uniformly by the service
+    /// dispatch (strategy.hpp route()) for direct and batched calls alike.
+    double cpu_seconds = 0.0;
+    /// Executor concurrency available to the run (1 = sequential).
+    int threads_used = 1;
     bool used_ledger_fallback = false;  ///< AST auto mode: windowed attempt
                                         ///< violated a bound, exact rerun used
 };

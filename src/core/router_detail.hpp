@@ -1,13 +1,18 @@
 #pragma once
 
 /// \file router_detail.hpp
-/// Internal plumbing shared by the router entry points: leaf construction
-/// (optionally collapsing all groups into one), the engine run, embedding
-/// and timing.  Not part of the public API.
+/// Internal plumbing shared by the routing strategies: leaf construction
+/// (optionally collapsing all groups into one), the engine run with a
+/// context-pooled scratch, embedding and bookkeeping.  Also declares the
+/// four built-in strategy implementations the registry binds (each lives
+/// in its router's .cpp).  Not part of the public API.
+///
+/// Note there is no timing here: `route()` (strategy.hpp) wraps every
+/// strategy with the one wall-clock measurement, so direct and batched
+/// calls report cpu_seconds identically.
 
-#include "core/router.hpp"
-
-#include <chrono>
+#include "core/route_context.hpp"
+#include "core/strategy.hpp"
 
 namespace astclk::core::detail {
 
@@ -29,24 +34,31 @@ inline std::vector<topo::node_id> make_leaves(const topo::instance& inst,
     return roots;
 }
 
-/// Reduce the given roots, embed, and fill in the result bookkeeping.
+/// Reduce the given roots (borrowing a scratch from the context's pool),
+/// embed, and fill in the result bookkeeping.
 inline route_result finish_route(const topo::instance& inst,
                                  const merge_solver& solver,
                                  const engine_options& eopt,
                                  topo::clock_tree t,
                                  std::vector<topo::node_id> roots,
-                                 std::chrono::steady_clock::time_point start) {
+                                 routing_context& ctx) {
     route_result res;
     bottom_up_engine engine(solver, eopt);
-    const topo::node_id root = engine.reduce(t, std::move(roots), &res.stats);
+    auto lease = ctx.scratch();
+    const topo::node_id root =
+        engine.reduce(t, std::move(roots), &res.stats, lease.get());
     t.set_root(root);
     res.embed = embed_tree(t, inst.source);
     res.tree = std::move(t);
     res.wirelength = res.tree.total_wirelength();
-    res.cpu_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
     return res;
 }
+
+// The four built-in strategies (registered by strategy_registry's ctor).
+route_result strategy_zst_dme(const routing_request&, routing_context&);
+route_result strategy_ext_bst(const routing_request&, routing_context&);
+route_result strategy_ast_dme(const routing_request&, routing_context&);
+route_result strategy_separate_stitch(const routing_request&,
+                                      routing_context&);
 
 }  // namespace astclk::core::detail

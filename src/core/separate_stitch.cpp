@@ -3,11 +3,14 @@
 
 namespace astclk::core {
 
-route_result route_separate_stitch(const topo::instance& inst,
-                                   const router_options& opt) {
-    const auto start = std::chrono::steady_clock::now();
+namespace detail {
+
+route_result strategy_separate_stitch(const routing_request& req,
+                                      routing_context& ctx) {
+    const topo::instance& inst = *req.instance;
+    const router_options& opt = req.options;
     topo::clock_tree t;
-    auto leaves = detail::make_leaves(inst, t, /*collapse_groups=*/false);
+    auto leaves = make_leaves(inst, t, /*collapse_groups=*/false);
 
     // Phase 1: a zero-skew tree per group, built in isolation — the prior
     // work's construction [12].  Each group root keeps its own group id, so
@@ -16,6 +19,7 @@ route_result route_separate_stitch(const topo::instance& inst,
     merge_solver solver(opt.model, skew_spec::zero(), &ledger,
                         consistency_mode::exact);
     bottom_up_engine engine(solver, opt.engine);
+    auto lease = ctx.scratch();
     route_result res;
     std::vector<topo::node_id> group_roots;
     for (topo::group_id g = 0; g < inst.num_groups; ++g) {
@@ -25,21 +29,31 @@ route_result route_separate_stitch(const topo::instance& inst,
                 members.push_back(leaves[i]);
         }
         if (members.empty()) continue;
-        group_roots.push_back(engine.reduce(t, std::move(members), &res.stats));
+        group_roots.push_back(
+            engine.reduce(t, std::move(members), &res.stats, lease.get()));
     }
 
     // Phase 2: stitch the per-group trees (no inter-group constraints, so
     // every stitch is a disjoint-group merge — but the damage from building
     // the trees separately is already done, cf. Fig. 2).
-    const topo::node_id root = engine.reduce(t, std::move(group_roots), &res.stats);
+    const topo::node_id root =
+        engine.reduce(t, std::move(group_roots), &res.stats, lease.get());
     t.set_root(root);
     res.embed = embed_tree(t, inst.source);
     res.tree = std::move(t);
     res.wirelength = res.tree.total_wirelength();
-    res.cpu_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
     return res;
+}
+
+}  // namespace detail
+
+route_result route_separate_stitch(const topo::instance& inst,
+                                   const router_options& opt) {
+    routing_request req;
+    req.instance = &inst;
+    req.options = opt;
+    req.strategy = strategy_id::separate_stitch;
+    return route(req);
 }
 
 }  // namespace astclk::core

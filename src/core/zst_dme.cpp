@@ -3,14 +3,27 @@
 
 namespace astclk::core {
 
+namespace detail {
+
+route_result strategy_zst_dme(const routing_request& req,
+                              routing_context& ctx) {
+    const topo::instance& inst = *req.instance;
+    topo::clock_tree t;
+    auto roots = make_leaves(inst, t, /*collapse_groups=*/true);
+    merge_solver solver(req.options.model, skew_spec::zero());
+    return finish_route(inst, solver, req.options.engine, std::move(t),
+                        std::move(roots), ctx);
+}
+
+}  // namespace detail
+
 route_result route_zst_dme(const topo::instance& inst,
                            const router_options& opt) {
-    const auto start = std::chrono::steady_clock::now();
-    topo::clock_tree t;
-    auto roots = detail::make_leaves(inst, t, /*collapse_groups=*/true);
-    merge_solver solver(opt.model, skew_spec::zero());
-    return detail::finish_route(inst, solver, opt.engine, std::move(t),
-                                std::move(roots), start);
+    routing_request req;
+    req.instance = &inst;
+    req.options = opt;
+    req.strategy = strategy_id::zst_dme;
+    return route(req);
 }
 
 }  // namespace astclk::core

@@ -216,5 +216,48 @@ TEST(GridIndex, EraseReinsertKeepsAnswersConsistent) {
     }
 }
 
+TEST(GridIndex, OccupancyAdaptiveRebuildKeepsAnswersExact) {
+    // Shrink the active set the way the engine does (erasures dominate);
+    // the occupancy-adaptive rebuild must fire as the population collapses
+    // and must never change a nearest-neighbour answer or the slot order.
+    const auto inst = seeded_instance(300, 51, true, 6);
+    clock_tree t;
+    std::vector<node_id> roots;
+    for (std::size_t i = 0; i < inst.sinks.size(); ++i)
+        roots.push_back(t.add_leaf(inst, static_cast<int>(i)));
+    nn_index lin(&t, roots);
+    grid_index grid(&t, roots);
+    EXPECT_EQ(grid.rebuilds(), 0);
+
+    gen::rng rng(13);
+    const auto no_ban = [](std::uint64_t) { return false; };
+    std::vector<node_id> in = roots;
+    int last_rebuilds = 0;
+    while (in.size() > 2) {
+        const auto k = static_cast<std::size_t>(rng.below(in.size()));
+        const node_id id = in[k];
+        lin.erase(id);
+        grid.erase(id);
+        in.erase(in.begin() + static_cast<std::ptrdiff_t>(k));
+        const bool just_rebuilt = grid.rebuilds() != last_rebuilds;
+        last_rebuilds = grid.rebuilds();
+        // Full equivalence sweep right after each rebuild and periodically.
+        if (just_rebuilt || in.size() % 16 == 0) {
+            for (const node_id q : in) {
+                ASSERT_EQ(lin.slot_of(q), grid.slot_of(q));
+                const auto l = lin.nearest_if(q, no_ban);
+                const auto g = grid.nearest_if(q, no_ban);
+                ASSERT_EQ(l.has_value(), g.has_value());
+                if (l.has_value()) {
+                    ASSERT_EQ(l->first, g->first) << "id " << q;
+                    ASSERT_EQ(l->second, g->second) << "id " << q;
+                }
+            }
+        }
+    }
+    // 300 -> 74 -> 18: at least two adaptive rebuilds on the way down.
+    EXPECT_GE(grid.rebuilds(), 2);
+}
+
 }  // namespace
 }  // namespace astclk::core

@@ -1,0 +1,261 @@
+// Service-layer tests: batched route_service runs must be bit-identical
+// to direct single-threaded router calls for all four strategies on both
+// NN backends, deterministic across thread counts, and isolate a failing
+// request from the rest of its batch.  Also covers the strategy registry,
+// uniform timing/threads bookkeeping, scratch reuse, and the parallel
+// multi-merge fan-out.
+
+#include "core/route_service.hpp"
+#include "eval/report.hpp"
+#include "gen/grouping.hpp"
+#include "gen/instance_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace astclk::core {
+namespace {
+
+topo::instance small_instance(int n, int k, std::uint64_t seed,
+                              bool intermingled) {
+    gen::instance_spec spec = gen::paper_spec("r1");
+    spec.num_sinks = n;
+    spec.seed = seed;
+    auto inst = gen::generate(spec);
+    if (k > 1) {
+        if (intermingled)
+            gen::apply_intermingled_groups(inst, k, seed + 1);
+        else
+            gen::apply_clustered_groups(inst, k);
+    }
+    return inst;
+}
+
+/// Bit-exact comparison: every statistic the engine reports and every
+/// node's topology/geometry (the acceptance bar for threaded execution).
+void expect_same_route(const route_result& a, const route_result& b,
+                       const std::string& what) {
+    EXPECT_EQ(a.wirelength, b.wirelength) << what;
+    EXPECT_EQ(a.stats.merges, b.stats.merges) << what;
+    EXPECT_EQ(a.stats.snake_wire, b.stats.snake_wire) << what;
+    EXPECT_EQ(a.stats.rejected_pairs, b.stats.rejected_pairs) << what;
+    EXPECT_EQ(a.stats.forced_merges, b.stats.forced_merges) << what;
+    EXPECT_EQ(a.stats.worst_violation, b.stats.worst_violation) << what;
+    EXPECT_EQ(a.stats.rounds, b.stats.rounds) << what;
+    ASSERT_EQ(a.tree.size(), b.tree.size()) << what;
+    for (std::size_t i = 0; i < a.tree.size(); ++i) {
+        const auto& an = a.tree.node(static_cast<topo::node_id>(i));
+        const auto& bn = b.tree.node(static_cast<topo::node_id>(i));
+        ASSERT_EQ(an.left, bn.left) << what << " node " << i;
+        ASSERT_EQ(an.right, bn.right) << what << " node " << i;
+        ASSERT_EQ(an.arc, bn.arc) << what << " node " << i;
+        ASSERT_EQ(an.edge_left, bn.edge_left) << what << " node " << i;
+        ASSERT_EQ(an.edge_right, bn.edge_right) << what << " node " << i;
+    }
+}
+
+/// All four strategies on both NN backends against one instance.
+std::vector<routing_request> all_requests(const topo::instance& inst) {
+    std::vector<routing_request> reqs;
+    for (const nn_backend be : {nn_backend::grid, nn_backend::linear}) {
+        for (const strategy_id s :
+             {strategy_id::zst_dme, strategy_id::ext_bst,
+              strategy_id::ast_dme, strategy_id::separate_stitch}) {
+            routing_request r;
+            r.instance = &inst;
+            r.options.engine.backend = be;
+            r.strategy = s;
+            if (s == strategy_id::ext_bst)
+                r.spec = skew_spec::uniform(10e-12);
+            reqs.push_back(r);
+        }
+    }
+    return reqs;
+}
+
+/// The legacy direct call for a request (always executor-free, i.e. the
+/// sequential single-threaded reference).
+route_result direct_call(const routing_request& r) {
+    switch (r.strategy) {
+        case strategy_id::zst_dme:
+            return route_zst_dme(*r.instance, r.options);
+        case strategy_id::ext_bst:
+            return route_ext_bst(*r.instance, r.spec.default_bound,
+                                 r.options);
+        case strategy_id::ast_dme:
+            return route_ast_dme(*r.instance, r.spec, r.options, r.mode);
+        case strategy_id::separate_stitch:
+            return route_separate_stitch(*r.instance, r.options);
+    }
+    throw std::logic_error("unknown strategy");
+}
+
+TEST(RouteService, BatchedMatchesDirectCallsBitExact) {
+    const auto mix = small_instance(90, 5, 21, true);
+    const auto box = small_instance(70, 4, 22, false);
+    for (const topo::instance* inst : {&mix, &box}) {
+        const auto reqs = all_requests(*inst);
+        service_options sopt;
+        sopt.threads = 4;
+        route_service svc(sopt);
+        const auto got = svc.route_batch(reqs);
+        ASSERT_EQ(got.size(), reqs.size());
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+            ASSERT_TRUE(got[i].ok()) << got[i].error;
+            const auto ref = direct_call(reqs[i]);
+            expect_same_route(got[i].result, ref,
+                              strategy_registry::global().name_of(
+                                  reqs[i].strategy));
+        }
+    }
+}
+
+TEST(RouteService, DeterministicAcrossThreadCounts) {
+    const auto inst = small_instance(110, 6, 33, true);
+    auto reqs = all_requests(inst);
+    // Multi-merge requests exercise the engine-level fan-out as well.
+    for (auto r : all_requests(inst)) {
+        r.options.engine.order = merge_order::multi_merge;
+        reqs.push_back(r);
+    }
+    std::vector<int> counts{1, 2,
+                            static_cast<int>(std::max(
+                                1u, std::thread::hardware_concurrency()))};
+    std::vector<std::vector<batch_entry>> runs;
+    for (const int threads : counts) {
+        service_options sopt;
+        sopt.threads = threads;
+        route_service svc(sopt);
+        runs.push_back(svc.route_batch(reqs));
+    }
+    for (std::size_t run = 1; run < runs.size(); ++run) {
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+            ASSERT_TRUE(runs[run][i].ok()) << runs[run][i].error;
+            expect_same_route(
+                runs[run][i].result, runs[0][i].result,
+                "threads=" + std::to_string(counts[run]) + " req " +
+                    std::to_string(i));
+        }
+    }
+}
+
+TEST(RouteService, ParallelMultiMergeMatchesSequentialEngine) {
+    const auto inst = small_instance(150, 6, 44, true);
+    for (const strategy_id s : {strategy_id::zst_dme, strategy_id::ast_dme,
+                                strategy_id::separate_stitch}) {
+        routing_request r;
+        r.instance = &inst;
+        r.strategy = s;
+        if (s == strategy_id::ast_dme) r.mode = ast_mode::windowed;
+        r.options.engine.order = merge_order::multi_merge;
+
+        const auto sequential = direct_call(r);  // executor-free reference
+        service_options sopt;
+        sopt.threads = 4;
+        route_service svc(sopt);
+        const auto threaded = svc.route(r);
+        EXPECT_GT(threaded.stats.rounds, 0);
+        expect_same_route(threaded, sequential,
+                          "multi_merge " +
+                              strategy_registry::global().name_of(s));
+    }
+}
+
+TEST(RouteService, ExceptionInOneRequestIsIsolated) {
+    const auto inst = small_instance(60, 4, 55, true);
+    auto good = all_requests(inst);
+    std::vector<routing_request> reqs{good[0], routing_request{}, good[1]};
+    // reqs[1].instance is null: the dispatch must throw for that slot only.
+    service_options sopt;
+    sopt.threads = 2;
+    route_service svc(sopt);
+    const auto got = svc.route_batch(reqs);
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_TRUE(got[0].ok()) << got[0].error;
+    EXPECT_FALSE(got[1].ok());
+    EXPECT_NE(got[1].error.find("instance"), std::string::npos)
+        << got[1].error;
+    EXPECT_TRUE(got[2].ok()) << got[2].error;
+    expect_same_route(got[0].result, direct_call(reqs[0]), "isolated[0]");
+    expect_same_route(got[2].result, direct_call(reqs[2]), "isolated[2]");
+}
+
+TEST(RouteService, ScratchAndInstanceReuseAreBitIdentical) {
+    gen::instance_spec spec = gen::paper_spec("r1");
+    spec.num_sinks = 80;
+    spec.seed = 66;
+    routing_context ctx;
+    const topo::instance& inst = ctx.intermingled(spec, 5, 67);
+    EXPECT_EQ(&inst, &ctx.intermingled(spec, 5, 67));  // cache hit
+    EXPECT_EQ(ctx.cached_instances(), 1u);
+
+    routing_request r;
+    r.instance = &inst;
+    r.mode = ast_mode::windowed;  // rejections populate the ban/starved sets
+    const auto first = route(r, ctx);   // fresh scratch, returned to pool
+    const auto second = route(r, ctx);  // reused scratch
+    expect_same_route(first, second, "scratch reuse");
+    expect_same_route(first, route(r), "transient context");
+}
+
+TEST(RouteService, TimingAndThreadsRecordedUniformly) {
+    const auto inst = small_instance(80, 4, 77, true);
+    routing_request r;
+    r.instance = &inst;
+    const auto direct = route(r);
+    EXPECT_GT(direct.cpu_seconds, 0.0);
+    EXPECT_EQ(direct.threads_used, 1);
+
+    service_options sopt;
+    sopt.threads = 3;
+    route_service svc(sopt);
+    EXPECT_EQ(svc.threads(), 3);
+    const auto served = svc.route(r);
+    EXPECT_GT(served.cpu_seconds, 0.0);
+    EXPECT_EQ(served.threads_used, 3);
+    const auto batch = svc.route_batch({r});
+    ASSERT_TRUE(batch[0].ok());
+    EXPECT_GT(batch[0].result.cpu_seconds, 0.0);
+    EXPECT_EQ(batch[0].result.threads_used, 3);
+}
+
+TEST(RouteService, RegistryResolvesNamesAndRejectsUnknownIds) {
+    auto& reg = strategy_registry::global();
+    EXPECT_EQ(reg.id_of("ast_dme"), strategy_id::ast_dme);
+    EXPECT_EQ(reg.id_of("ast"), strategy_id::ast_dme);
+    EXPECT_EQ(reg.id_of("zst"), strategy_id::zst_dme);
+    EXPECT_EQ(reg.id_of("bst"), strategy_id::ext_bst);
+    EXPECT_EQ(reg.id_of("sep"), strategy_id::separate_stitch);
+    EXPECT_FALSE(reg.id_of("nonesuch").has_value());
+    EXPECT_EQ(reg.names().size(), 4u);
+    EXPECT_EQ(reg.name_of(strategy_id::ext_bst), "ext_bst");
+
+    const auto inst = small_instance(24, 1, 88, false);
+    routing_request r;
+    r.instance = &inst;
+    r.strategy = static_cast<strategy_id>(99);
+    EXPECT_THROW((void)route(r), std::out_of_range);
+    routing_request null_req;
+    EXPECT_THROW((void)route(null_req), std::invalid_argument);
+}
+
+TEST(RouteService, BatchedResultsStillVerify) {
+    // The service path must hand back trees the independent evaluator
+    // accepts, exactly like the direct path.
+    const auto inst = small_instance(100, 5, 99, true);
+    routing_request r;
+    r.instance = &inst;
+    service_options sopt;
+    sopt.threads = 2;
+    route_service svc(sopt);
+    const auto got = svc.route_batch({r});
+    ASSERT_TRUE(got[0].ok()) << got[0].error;
+    const router_options opt;
+    const auto vr = eval::verify_route(got[0].result, inst, opt.model,
+                                       skew_spec::zero());
+    EXPECT_TRUE(vr.ok) << vr.message;
+}
+
+}  // namespace
+}  // namespace astclk::core
