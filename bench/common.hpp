@@ -13,6 +13,8 @@
 #include "gen/instance_gen.hpp"
 #include "io/table.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -22,24 +24,22 @@
 
 namespace astclk::bench {
 
-/// Route a whole batch through the service and unwrap the entries,
-/// aborting loudly on any failed request — a bench must never print a
-/// table with silently missing rows.
+/// Route a whole batch through the service, aborting loudly on any
+/// non-ok status — a bench must never print a table with silently missing
+/// rows.
 inline std::vector<core::route_result> run_batch(
     core::route_service& svc,
     const std::vector<core::routing_request>& reqs) {
-    auto entries = svc.route_batch(reqs);
-    std::vector<core::route_result> out;
-    out.reserve(entries.size());
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-        if (!entries[i].ok()) {
-            std::cerr << "batch request " << i
-                      << " failed: " << entries[i].error << "\n";
+    auto results = svc.route_batch(reqs);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ok()) {
+            std::cerr << "batch request " << i << " failed ("
+                      << core::to_string(results[i].status)
+                      << "): " << results[i].status_message << "\n";
             std::exit(1);
         }
-        out.push_back(std::move(entries[i].result));
     }
-    return out;
+    return results;
 }
 
 /// One machine-readable measurement row, serialised to the BENCH_*.json
@@ -52,7 +52,22 @@ struct perf_record {
     int merges = 0;
     double merges_per_sec = 0.0;
     double wirelength = 0.0;
+    /// Per-request latency percentiles (seconds), streaming benches only
+    /// (zero elsewhere): submit-to-completion, queueing included.
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
 };
+
+/// Nearest-rank percentile of an ascending-sorted sample (q in [0, 1]);
+/// sort once, then index p50/p95/p99 without re-sorting per quantile.
+inline double percentile_sorted(const std::vector<double>& sorted_xs,
+                                double q) {
+    if (sorted_xs.empty()) return 0.0;
+    const auto rank = static_cast<std::size_t>(std::max(
+        0.0, std::ceil(q * static_cast<double>(sorted_xs.size())) - 1.0));
+    return sorted_xs[std::min(rank, sorted_xs.size() - 1)];
+}
 
 /// Write records as a JSON array (no external deps; fixed schema).
 /// Returns false when the file could not be opened or a write failed —
@@ -71,7 +86,9 @@ struct perf_record {
             << r.backend << "\", \"n\": " << r.n << ", \"seconds\": "
             << r.seconds << ", \"merges\": " << r.merges
             << ", \"merges_per_sec\": " << r.merges_per_sec
-            << ", \"wirelength\": " << r.wirelength << "}"
+            << ", \"wirelength\": " << r.wirelength
+            << ", \"p50\": " << r.p50 << ", \"p95\": " << r.p95
+            << ", \"p99\": " << r.p99 << "}"
             << (i + 1 < records.size() ? "," : "") << "\n";
     }
     out << "]\n";

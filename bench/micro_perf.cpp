@@ -2,12 +2,14 @@
 // of full AST-DME routes across instance sizes, for both nearest-neighbour
 // backends (grid vs the linear verification scan) — plus aggregate
 // throughput of a route_service batch (table2-style requests) at 1 worker
-// thread vs 4, the batched serving path.
+// thread vs 4, and per-request latency percentiles of the same requests
+// streamed through the async submit API (service_stream).
 //
 // Emits a human table on stdout and a machine-readable
-// BENCH_micro_perf.json (per-n wall-clock, merges/sec, backend tag) so
-// future PRs can track the perf trajectory (bench/perf_diff.py gates the
-// engine benches against the committed baseline).
+// BENCH_micro_perf.json (per-n wall-clock, merges/sec, latency
+// percentiles, backend tag) so future PRs can track the perf trajectory
+// (bench/perf_diff.py gates the engine benches and the streamed p95
+// against the committed baseline).
 //
 // Usage:  micro_perf [--quick] [output.json]
 //   --quick   cap the sweep at n=512 and shrink the batch (CI smoke)
@@ -81,19 +83,15 @@ bench::perf_record bench_route(const topo::instance& inst,
     return rec;
 }
 
-/// Aggregate throughput of a route_service batch at a given thread count.
-/// The requests are table2-shaped (EXT-BST baseline + AST-DME over
-/// intermingled groupings); instances are borrowed so every thread count
-/// routes the identical batch.
-bench::perf_record bench_service(
-    const std::vector<const topo::instance*>& insts, int threads, int reps) {
-    bench::perf_record rec;
-    rec.bench = "service_batch";
-    rec.backend = "t" + std::to_string(threads);
-    rec.seconds = std::numeric_limits<double>::infinity();
+/// The table2-shaped serving workload (EXT-BST baseline + windowed
+/// AST-DME per instance) shared by the batch and stream benches, so their
+/// series always measure the identical request mix.  `total_n` receives
+/// the summed sink count.
+std::vector<core::routing_request> make_service_requests(
+    const std::vector<const topo::instance*>& insts, int& total_n) {
     std::vector<core::routing_request> reqs;
     for (const topo::instance* inst : insts) {
-        rec.n += static_cast<int>(inst->sinks.size());
+        total_n += static_cast<int>(inst->sinks.size());
         core::routing_request ext;
         ext.instance = inst;
         ext.strategy = core::strategy_id::ext_bst;
@@ -105,6 +103,19 @@ bench::perf_record bench_service(
         ast.mode = core::ast_mode::windowed;
         reqs.push_back(ast);
     }
+    return reqs;
+}
+
+/// Aggregate throughput of a route_service batch at a given thread count;
+/// instances are borrowed so every thread count routes the identical
+/// batch.
+bench::perf_record bench_service(
+    const std::vector<const topo::instance*>& insts, int threads, int reps) {
+    bench::perf_record rec;
+    rec.bench = "service_batch";
+    rec.backend = "t" + std::to_string(threads);
+    rec.seconds = std::numeric_limits<double>::infinity();
+    const auto reqs = make_service_requests(insts, rec.n);
     for (int rep = 0; rep < reps; ++rep) {
         core::service_options sopt;
         sopt.threads = threads;
@@ -116,12 +127,73 @@ bench::perf_record bench_service(
         rec.wirelength = 0.0;
         for (const auto& e : entries) {
             if (!e.ok()) {
-                std::cerr << "service bench request failed: " << e.error
-                          << "\n";
+                std::cerr << "service bench request failed ("
+                          << core::to_string(e.status)
+                          << "): " << e.status_message << "\n";
                 std::exit(1);
             }
-            rec.merges += e.result.stats.merges;
-            rec.wirelength += e.result.wirelength;
+            rec.merges += e.stats.merges;
+            rec.wirelength += e.wirelength;
+        }
+    }
+    rec.merges_per_sec =
+        rec.seconds > 0.0 ? static_cast<double>(rec.merges) / rec.seconds : 0.0;
+    return rec;
+}
+
+/// Streamed serving latency: the same table2-style requests submitted one
+/// by one through the async API; each request's latency is submit-to-
+/// completion (queueing included, stamped by the completion callback on
+/// the worker), reported as p50/p95/p99 over the stream.  The percentile
+/// fields of the best (lowest total wall-clock) repetition are kept —
+/// bench/perf_diff.py gates the largest-n p95.
+bench::perf_record bench_stream(
+    const std::vector<const topo::instance*>& insts, int threads, int reps) {
+    bench::perf_record rec;
+    rec.bench = "service_stream";
+    rec.backend = "t" + std::to_string(threads);
+    rec.seconds = std::numeric_limits<double>::infinity();
+    const auto reqs = make_service_requests(insts, rec.n);
+    std::vector<double> latency(reqs.size());
+    for (int rep = 0; rep < reps; ++rep) {
+        core::service_options sopt;
+        sopt.threads = threads;
+        core::route_service svc(sopt);
+        std::vector<core::route_handle> handles;
+        handles.reserve(reqs.size());
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+            core::submit_options so;
+            const auto ts = std::chrono::steady_clock::now();
+            so.on_complete = [&latency, i,
+                              ts](const core::route_result&) {
+                latency[i] = now_diff(ts);
+            };
+            handles.push_back(svc.submit(reqs[i], so));
+        }
+        int merges = 0;
+        double wirelength = 0.0;
+        for (auto& h : handles) {
+            const auto r = h.wait();
+            if (!r.ok()) {
+                std::cerr << "stream bench request failed ("
+                          << core::to_string(r.status)
+                          << "): " << r.status_message << "\n";
+                std::exit(1);
+            }
+            merges += r.stats.merges;
+            wirelength += r.wirelength;
+        }
+        const double wall = now_diff(t0);
+        if (wall < rec.seconds) {
+            rec.seconds = wall;
+            rec.merges = merges;
+            rec.wirelength = wirelength;
+            std::vector<double> sorted = latency;
+            std::sort(sorted.begin(), sorted.end());
+            rec.p50 = bench::percentile_sorted(sorted, 0.50);
+            rec.p95 = bench::percentile_sorted(sorted, 0.95);
+            rec.p99 = bench::percentile_sorted(sorted, 0.99);
         }
     }
     rec.merges_per_sec =
@@ -180,9 +252,8 @@ int main(int argc, char** argv) {
 
     // Batched serving throughput: the same table2-style batch at 1 worker
     // thread vs 4 (results are bit-identical; only wall-clock moves).
-    {
+    const auto make_batch = [](int batch_n) {
         std::vector<topo::instance> batch_insts;
-        const int batch_n = quick ? 256 : 862;  // r3-sized in full mode
         for (const char* name : {"r1", "r2"}) {
             gen::instance_spec spec = gen::paper_spec(name);
             spec.num_sinks = std::min(spec.num_sinks, batch_n);
@@ -193,6 +264,11 @@ int main(int argc, char** argv) {
                 batch_insts.push_back(std::move(inst));
             }
         }
+        return batch_insts;
+    };
+    {
+        const int batch_n = quick ? 256 : 862;  // r3-sized in full mode
+        const auto batch_insts = make_batch(batch_n);
         std::vector<const topo::instance*> ptrs;
         for (const auto& i : batch_insts) ptrs.push_back(&i);
         const int reps = quick ? 1 : 2;
@@ -209,6 +285,38 @@ int main(int argc, char** argv) {
                    io::table::integer(s1.merges_per_sec), "1.00x"});
         records.push_back(s4);
         records.push_back(s1);
+    }
+
+    // Streamed serving: per-request latency percentiles of the same
+    // requests through the async submit API (perf_diff gates the
+    // single-worker p95 — the deterministic series on any machine).  The
+    // quick-sized batch runs in full mode too, so the committed full
+    // baseline always shares an n with the CI smoke run.
+    {
+        std::vector<int> stream_sizes{256};
+        if (!quick) stream_sizes.push_back(862);
+        // Percentiles gate the perf trajectory (service_stream:t1:p95 at
+        // the @0.5 tolerance in perf_diff's GATED_DEFAULT), so even the
+        // quick run takes best-of-3: a single rep's p95 on a loaded
+        // machine is too noisy even for that widened gate.
+        const int reps = 3;
+        for (const int batch_n : stream_sizes) {
+            const auto batch_insts = make_batch(batch_n);
+            std::vector<const topo::instance*> ptrs;
+            for (const auto& i : batch_insts) ptrs.push_back(&i);
+            for (const int threads : {1, 4}) {
+                const auto sr = bench_stream(ptrs, threads, reps);
+                t.add_row({sr.bench, std::to_string(sr.n), sr.backend,
+                           io::table::fixed(sr.seconds, 4),
+                           io::table::integer(sr.merges_per_sec), "-"});
+                std::cout << "service_stream " << sr.backend << " n=" << sr.n
+                          << " latency p50/p95/p99: "
+                          << io::table::fixed(sr.p50, 4) << " / "
+                          << io::table::fixed(sr.p95, 4) << " / "
+                          << io::table::fixed(sr.p99, 4) << " s\n";
+                records.push_back(sr);
+            }
+        }
     }
 
     t.print(std::cout);

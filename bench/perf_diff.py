@@ -1,25 +1,32 @@
 #!/usr/bin/env python3
 """Perf trajectory gate: diff BENCH_micro_perf.json against the committed
-baseline and fail on wall-clock regression.
+baseline and fail on wall-clock (or latency-percentile) regression.
 
-For every gated (bench, backend) series present in both files, the largest
-common n is compared; a regression beyond --tolerance (default 20%) fails
-the run.  Because absolute wall-clock shifts with the machine, the current
+For every gated series — "bench:backend" or "bench:backend:metric", the
+metric defaulting to "seconds" — present in both files, the largest common
+n is compared; a regression beyond --tolerance (default 20%) fails the
+run.  Because absolute wall-clock shifts with the machine, the current
 numbers are first calibrated by the linear-backend reference (the frozen
 seed implementation): its runtime ratio baseline/current estimates the
-machine-speed factor, and the gated grid timings are scaled by it before
-comparison.  Pass --no-calibrate for raw wall-clock.
+machine-speed factor, and the gated timings are scaled by it before
+comparison (every gated metric is a time, so the same factor applies).
+Pass --no-calibrate for raw wall-clock.
 
-Only the engine benches are gated by default; service_batch throughput is
-reported but not gated (batch scheduling noise is not an engine
-regression).  Exit codes: 0 ok, 1 regression, 2 usage/missing data.
+Gated by default: the engine benches plus the streamed single-worker p95
+per-request latency (service_stream:t1:p95 — one worker keeps the series
+deterministic on any machine).  Multi-threaded service_batch /
+service_stream throughput is reported but not gated (batch scheduling
+noise is not an engine regression).  Exit codes: 0 ok, 1 regression,
+2 usage/missing data.
 """
 
 import argparse
 import json
 import sys
 
-GATED_DEFAULT = "engine_reduce:grid,route_ast_windowed:grid"
+GATED_DEFAULT = (
+    "engine_reduce:grid,route_ast_windowed:grid,service_stream:t1:p95@0.5"
+)
 CALIBRATION_SERIES = ("engine_reduce", "linear")
 
 
@@ -73,44 +80,68 @@ def main():
         spec = spec.strip()
         if not spec:
             continue
-        bench, _, backend = spec.partition(":")
-        gated.append((bench, backend))
+        # bench:backend[:metric][@tolerance] — per-series tolerance lets
+        # the inherently noisier latency percentiles run with a wider gate
+        # than the engine wall-clocks.
+        spec, _, tol_str = spec.partition("@")
+        tolerance = float(tol_str) if tol_str else args.tolerance
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            print(f"perf_diff: bad gate spec {spec!r} "
+                  f"(want bench:backend[:metric][@tolerance])",
+                  file=sys.stderr)
+            sys.exit(2)
+        bench, backend = parts[0], parts[1]
+        metric = parts[2] if len(parts) == 3 else "seconds"
+        gated.append((bench, backend, metric, tolerance))
 
     failures = []
     compared = 0
-    for key in gated:
+    for bench, backend, metric, tolerance in gated:
+        key = (bench, backend)
+        label = f"{bench}:{backend}:{metric}"
         n = pick_common_n(base, cur, key)
         if n is None:
-            print(f"perf_diff: series {key[0]}:{key[1]} missing from one "
-                  f"side; skipped")
+            print(f"perf_diff: series {label} missing from one side; "
+                  f"skipped")
+            continue
+        b = base[key][n].get(metric)
+        c = cur[key][n].get(metric)
+        if b is None or c is None:
+            print(f"perf_diff: metric {metric!r} missing from "
+                  f"{bench}:{backend} on one side; skipped")
             continue
         compared += 1
-        b = base[key][n]["seconds"]
-        c = cur[key][n]["seconds"] * scale
+        c *= scale
         ratio = c / b if b > 0 else float("inf")
         verdict = "OK"
-        if ratio > 1.0 + args.tolerance:
+        if ratio > 1.0 + tolerance:
             verdict = "REGRESSION"
-            failures.append((key, n, b, c, ratio))
-        elif ratio < 1.0 - args.tolerance:
+            failures.append((label, n, b, c, ratio))
+        elif ratio < 1.0 - tolerance:
             verdict = "improvement"
-        print(f"{key[0]}:{key[1]} @ n={n}: baseline {b:.4f}s, current "
+        print(f"{label} @ n={n}: baseline {b:.4f}s, current "
               f"{c:.4f}s (calibrated), ratio {ratio:.2f} -> {verdict}")
 
-    # Informational: batched serving throughput, never gated.
+    # Informational: serving throughput/latency, never gated here.
     for key in sorted(cur):
-        if key[0] == "service_batch":
+        if key[0] in ("service_batch", "service_stream"):
             n = max(cur[key])
             r = cur[key][n]
-            print(f"info service_batch:{key[1]} @ n={n}: "
-                  f"{r['seconds']:.4f}s, {r['merges_per_sec']:.0f} merges/s")
+            extra = ""
+            if key[0] == "service_stream":
+                extra = (f", p50/p95/p99 {r.get('p50', 0):.4f}/"
+                         f"{r.get('p95', 0):.4f}/{r.get('p99', 0):.4f}s")
+            print(f"info {key[0]}:{key[1]} @ n={n}: "
+                  f"{r['seconds']:.4f}s, {r['merges_per_sec']:.0f} "
+                  f"merges/s{extra}")
 
     if compared == 0:
         print("perf_diff: nothing to compare", file=sys.stderr)
         sys.exit(2)
     if failures:
-        for key, n, b, c, ratio in failures:
-            print(f"perf_diff: {key[0]}:{key[1]} regressed {ratio:.2f}x at "
+        for label, n, b, c, ratio in failures:
+            print(f"perf_diff: {label} regressed {ratio:.2f}x at "
                   f"n={n} (baseline {b:.4f}s, calibrated current {c:.4f}s)",
                   file=sys.stderr)
         sys.exit(1)

@@ -1,15 +1,19 @@
 // Command-line router over the routing service: read an instance file,
-// build a routing_request, route it through route_service (strategy
-// registry + thread pool), verify, print the report, optionally export
-// SVG/JSON.
+// build a routing_request, submit it through route_service's streaming
+// API (strategy registry + prioritised worker pool), verify, print the
+// report, optionally export SVG/JSON.
 //
 //   $ ./route_cli INSTANCE [--algo ast|zst|bst|sep] [--bound PS]
 //                 [--mode auto|windowed|exact|soft] [--threads N]
-//                 [--svg OUT.svg] [--json OUT.json]
+//                 [--deadline MS] [--svg OUT.svg] [--json OUT.json]
 //
 // --threads 0 (default) uses the hardware concurrency; multi-merge engine
 // rounds fan out across the pool, and results are bit-identical to
-// --threads 1.  Exit status: 0 when routing and verification succeed.
+// --threads 1.  --deadline bounds the route's wall-clock: an expired
+// deadline stops the engine at the next merge-round checkpoint and the
+// run exits with status `deadline_exceeded`.  Exit status: 0 when routing
+// and verification succeed, 3 when the request was cancelled or timed
+// out, 1 on errors.
 
 #include "core/route_service.hpp"
 #include "eval/report.hpp"
@@ -18,6 +22,7 @@
 #include "io/svg.hpp"
 #include "io/tree_json.hpp"
 
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -30,7 +35,8 @@ int usage(const char* argv0) {
     std::cerr << "usage: " << argv0
               << " INSTANCE [--algo ast|zst|bst|sep] [--bound PS]\n"
                  "          [--mode auto|windowed|exact|soft]"
-                 " [--threads N] [--svg OUT.svg] [--json OUT.json]\n";
+                 " [--threads N] [--deadline MS]\n"
+                 "          [--svg OUT.svg] [--json OUT.json]\n";
     return 2;
 }
 
@@ -44,6 +50,7 @@ int main(int argc, char** argv) {
     std::string svg_out, json_out;
     double bound_ps = 10.0;
     int threads = 0;
+    double deadline_ms = 0.0;  // <= 0: none
     for (int i = 2; i < argc; ++i) {
         const std::string a = argv[i];
         const auto need = [&](const char* opt) -> const char* {
@@ -61,6 +68,8 @@ int main(int argc, char** argv) {
             mode = need("--mode");
         else if (a == "--threads")
             threads = std::atoi(need("--threads"));
+        else if (a == "--deadline")
+            deadline_ms = std::atof(need("--deadline"));
         else if (a == "--svg")
             svg_out = need("--svg");
         else if (a == "--json")
@@ -100,12 +109,20 @@ int main(int argc, char** argv) {
     core::service_options sopt;
     sopt.threads = threads;
     core::route_service service(sopt);
-    core::route_result route;
-    try {
-        route = service.route(req);
-    } catch (const std::exception& e) {
-        std::cerr << "error: " << e.what() << '\n';
-        return 1;
+    core::submit_options sub;
+    if (deadline_ms > 0.0)
+        sub.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               deadline_ms));
+    core::route_handle handle = service.submit(req, sub);
+    core::route_result route = handle.wait();
+    if (!route.ok()) {
+        std::cerr << "route " << core::to_string(route.status) << ": "
+                  << route.status_message << " (after " << route.cpu_seconds
+                  << " s)\n";
+        return route.status == core::route_status::error ? 1 : 3;
     }
     const core::router_options& opt = req.options;
 

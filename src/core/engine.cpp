@@ -162,7 +162,13 @@ class nearest_reducer {
     }
 
     topo::node_id run() {
+        const bool watched = opt_.cancel.armed();
         while (idx_.size() > 1) {
+            if (watched) {
+                if (const route_status rs = opt_.cancel.poll();
+                    rs != route_status::ok)
+                    throw route_interrupt(rs, st_);
+            }
             const auto popped = pop_cheapest();
             if (!popped.has_value()) {
                 forced_step();
@@ -423,8 +429,14 @@ topo::node_id reduce_multi_impl(const merge_solver& solver,
         double d;
     };
     std::vector<cand> cands;
+    const bool watched = opt.cancel.armed();
 
     while (idx.size() > 1) {
+        if (watched) {
+            if (const route_status rs = opt.cancel.poll();
+                rs != route_status::ok)
+                throw route_interrupt(rs, st);
+        }
         ++st.rounds;
         // Fresh nearest neighbours each round, slot-indexed so the fan-out
         // writes disjoint slots (deterministic regardless of schedule).

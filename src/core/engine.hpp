@@ -73,6 +73,13 @@ struct engine_options {
     /// earlier commits of the same round bind).  The commit step is always
     /// sequential, so trees are bit-identical to single-threaded runs.
     task_executor* executor = nullptr;
+    /// Cooperative cancellation (deadline and/or cancel flag): polled at
+    /// merge-round granularity — once per nearest-pair selection step and
+    /// once per multi-merge round — so a fired token interrupts the reduce
+    /// within one round (a route_interrupt carrying the status unwinds to
+    /// the strategy dispatch).  The default token never fires; an unarmed
+    /// run does no clock reads.
+    cancel_token cancel;
 };
 
 struct engine_stats {
@@ -87,6 +94,27 @@ struct engine_stats {
     int forced_merges = 0;        ///< minimax fallbacks (should stay 0)
     double worst_violation = 0.0; ///< residual skew excess of forced merges
     int rounds = 0;               ///< multi-merge rounds (if enabled)
+};
+
+/// Thrown by an engine checkpoint that observes a fired cancel token; the
+/// strategy dispatch (strategy.cpp route()) converts it into a
+/// route_result with the carried status.  The partial tree dies with the
+/// unwind, but the stats accumulated so far ride along — a cancelled
+/// request still reports how much work it burned.  Deriving from
+/// std::runtime_error keeps legacy engine users safe if it ever escapes
+/// uncaught.
+class route_interrupt : public std::runtime_error {
+  public:
+    route_interrupt(route_status s, const engine_stats& st)
+        : std::runtime_error(status_message_for(s)), status_(s), stats_(st) {}
+    [[nodiscard]] route_status status() const noexcept { return status_; }
+    [[nodiscard]] const engine_stats& stats() const noexcept {
+        return stats_;
+    }
+
+  private:
+    route_status status_;
+    engine_stats stats_;
 };
 
 /// Reusable buffers for the engine's selection state (NN records, reverse

@@ -1,8 +1,8 @@
 #pragma once
 
 /// \file executor.hpp
-/// Minimal task-execution interface shared by the merge engine and the
-/// routing service (DESIGN.md §5).
+/// Minimal task-execution and cooperative-cancellation contracts shared by
+/// the merge engine and the routing service (DESIGN.md §5-§6).
 ///
 /// The engine's multi-merge rounds and the service's batched requests both
 /// need "run these n independent jobs, possibly concurrently, and wait".
@@ -25,10 +25,126 @@
 /// per batch — obeys that rule, which is why threaded runs are
 /// bit-identical to sequential ones.
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <stdexcept>
 
 namespace astclk::core {
+
+/// Terminal disposition of a route request (DESIGN.md §6).  Replaces bare
+/// error-string signaling: callers branch on the kind, `status_message`
+/// (route_result) carries the human detail.
+enum class route_status {
+    ok,                 ///< routed normally; the result tree is valid
+    cancelled,          ///< cooperative cancellation observed at a checkpoint
+    deadline_exceeded,  ///< the per-request deadline fired (possibly before
+                        ///< any engine work)
+    error,              ///< the strategy threw; see status_message
+};
+
+[[nodiscard]] constexpr const char* to_string(route_status s) noexcept {
+    switch (s) {
+        case route_status::ok: return "ok";
+        case route_status::cancelled: return "cancelled";
+        case route_status::deadline_exceeded: return "deadline_exceeded";
+        case route_status::error: return "error";
+    }
+    return "?";
+}
+
+/// The canonical human wording of a status for
+/// route_result::status_message, used everywhere a token fires (the
+/// dispatch pre-check, engine interrupts, queued-cancel completion).
+/// `ok` maps to the empty string (ok results carry no message); `error`
+/// messages normally come from the exception text instead.
+[[nodiscard]] constexpr const char* status_message_for(
+    route_status s) noexcept {
+    switch (s) {
+        case route_status::ok: return "";
+        case route_status::cancelled: return "cancelled";
+        case route_status::deadline_exceeded: return "deadline exceeded";
+        case route_status::error: return "error";
+    }
+    return "?";
+}
+
+/// Test instrumentation for cancellation checkpoints: every cancel_token
+/// poll bumps `polls` and invokes `on_poll` (when set) with the new count.
+/// Polls happen sequentially on the thread driving the reduce (the route()
+/// pre-check plus one per engine round), so no atomics are needed; tests
+/// use the hook to trip a cancel flag at an exact checkpoint and assert the
+/// engine stops within one round of it.
+struct cancel_probe {
+    std::uint64_t polls = 0;
+    std::function<void(std::uint64_t)> on_poll;
+};
+
+/// Cooperative cancellation token: an optional cancel flag (non-owning;
+/// typically a route_handle's) plus an optional absolute deadline.  The
+/// engine polls it at merge-round granularity — the nearest-pair selection
+/// loop and multi-merge round boundaries — so a fired token stops a reduce
+/// within one round.  A default-constructed token never fires and costs a
+/// few predictable-branch compares per round.
+class cancel_token {
+  public:
+    using clock = std::chrono::steady_clock;
+    [[nodiscard]] static constexpr clock::time_point no_deadline() noexcept {
+        return clock::time_point::max();
+    }
+
+    cancel_token() = default;
+    cancel_token(const std::atomic<bool>* flag, clock::time_point deadline)
+        : flag_(flag), deadline_(deadline) {}
+
+    /// True when polling can ever report anything but ok (lets hot loops
+    /// hoist the "unarmed" fast path).
+    [[nodiscard]] bool armed() const noexcept {
+        return flag_ != nullptr || deadline_ != no_deadline() ||
+               probe_ != nullptr || (chain_ != nullptr && chain_->armed());
+    }
+    [[nodiscard]] clock::time_point deadline() const noexcept {
+        return deadline_;
+    }
+    void set_probe(cancel_probe* p) noexcept { probe_ = p; }
+    [[nodiscard]] cancel_probe* probe() const noexcept { return probe_; }
+    /// Chain a second token whose flags/deadlines are also honored,
+    /// transitively through any chain of its own (its probes are NOT
+    /// driven — forward one with set_probe to count each checkpoint
+    /// once).  The service chains a submitted request's own token behind
+    /// the handle-wired one, so a caller-provided cancel flag keeps
+    /// working through the async path.  Non-owning: every chained token
+    /// must outlive every poll, and chains must be acyclic.
+    void set_chain(const cancel_token* t) noexcept { chain_ = t; }
+
+    /// One checkpoint: cancelled beats deadline_exceeded when both fired.
+    /// The deadline clock is only read when a deadline is set.
+    [[nodiscard]] route_status poll() const {
+        if (probe_ != nullptr) {
+            ++probe_->polls;
+            if (probe_->on_poll) probe_->on_poll(probe_->polls);
+        }
+        return state();
+    }
+
+  private:
+    /// Flag/deadline checks down the whole chain — no probes.
+    [[nodiscard]] route_status state() const {
+        if (flag_ != nullptr && flag_->load(std::memory_order_relaxed))
+            return route_status::cancelled;
+        if (deadline_ != no_deadline() && clock::now() >= deadline_)
+            return route_status::deadline_exceeded;
+        if (chain_ != nullptr) return chain_->state();
+        return route_status::ok;
+    }
+
+    const std::atomic<bool>* flag_ = nullptr;
+    clock::time_point deadline_ = no_deadline();
+    cancel_probe* probe_ = nullptr;
+    const cancel_token* chain_ = nullptr;
+};
 
 class task_executor {
   public:

@@ -90,4 +90,9 @@ void routing_context::release(std::unique_ptr<engine_scratch> s) {
     pool_.push_back(std::move(s));
 }
 
+std::size_t routing_context::pooled_scratch() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return pool_.size();
+}
+
 }  // namespace astclk::core

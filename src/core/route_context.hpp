@@ -92,6 +92,13 @@ class routing_context {
     /// Borrow a scratch (allocating one when the pool is empty).
     [[nodiscard]] scratch_lease scratch();
 
+    /// Scratch buffers currently resting in the pool, i.e. not leased by a
+    /// running request.  Leases return on destruction — cancellation and
+    /// deadline unwinds included — so after every request of a quiesced
+    /// service finished (however it ended) this equals the number of
+    /// scratches ever allocated.
+    [[nodiscard]] std::size_t pooled_scratch() const;
+
   private:
     friend class scratch_lease;
     void release(std::unique_ptr<engine_scratch> s);

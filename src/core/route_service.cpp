@@ -5,8 +5,10 @@
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <map>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 namespace astclk::core {
 
@@ -25,6 +27,10 @@ struct thread_pool::impl {
     std::mutex mu_;
     std::condition_variable cv_work_;
     std::deque<std::shared_ptr<job>> queue_;
+    /// Submitted one-shot tasks, keyed (-priority, seq): begin() is the
+    /// highest priority, FIFO within a level.
+    std::map<std::pair<int, std::uint64_t>, std::function<void()>> tasks_;
+    std::uint64_t task_seq_ = 0;
     std::vector<std::thread> workers_;
     bool stop_ = false;
 
@@ -55,30 +61,54 @@ struct thread_pool::impl {
         }
     }
 
+    /// Workers prefer helping a pending parallel_for (short, fine-grained
+    /// sub-work of an already-running task) over claiming the next
+    /// submitted task; tasks drain even after stop_, so destruction
+    /// completes every submission.
     void worker_loop() {
         for (;;) {
             std::shared_ptr<job> j;
+            std::function<void()> task;
             {
                 std::unique_lock<std::mutex> lk(mu_);
-                cv_work_.wait(lk, [&] { return stop_ || !queue_.empty(); });
-                if (stop_) return;
-                j = queue_.front();
-                if (j->next.load(std::memory_order_relaxed) >= j->n) {
-                    // Fully claimed (maybe still finishing): retire it from
-                    // the queue so workers move on to the next job.
-                    queue_.pop_front();
-                    continue;
+                cv_work_.wait(lk, [&] {
+                    return stop_ || !queue_.empty() || !tasks_.empty();
+                });
+                if (!queue_.empty()) {
+                    j = queue_.front();
+                    if (j->next.load(std::memory_order_relaxed) >= j->n) {
+                        // Fully claimed (maybe still finishing): retire it
+                        // from the queue so workers move on.
+                        queue_.pop_front();
+                        continue;
+                    }
+                } else if (!tasks_.empty()) {
+                    auto it = tasks_.begin();
+                    task = std::move(it->second);
+                    tasks_.erase(it);
+                } else {
+                    return;  // stop_ and nothing left: drained
                 }
             }
-            run_jobs(j);
+            if (j) {
+                run_jobs(j);
+            } else {
+                // Tasks own their error reporting (serve() converts
+                // exceptions to route_status::error); a stray throw must
+                // not unwind the worker thread and terminate the process.
+                try {
+                    task();
+                } catch (...) {
+                }
+            }
         }
     }
 };
 
-thread_pool::thread_pool(int threads) : p_(std::make_unique<impl>()) {
+thread_pool::thread_pool(int threads) : p_(std::make_shared<impl>()) {
     const int n = std::max(1, threads);
-    p_->workers_.reserve(static_cast<std::size_t>(n - 1));
-    for (int i = 0; i < n - 1; ++i)
+    p_->workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
         p_->workers_.emplace_back([s = p_.get()] { s->worker_loop(); });
 }
 
@@ -92,14 +122,36 @@ thread_pool::~thread_pool() {
 }
 
 int thread_pool::concurrency() const noexcept {
-    return static_cast<int>(p_->workers_.size()) + 1;
+    return static_cast<int>(p_->workers_.size());
+}
+
+thread_pool::ticket thread_pool::submit(int priority,
+                                        std::function<void()> task) {
+    ticket t;
+    t.pool_ = p_;
+    {
+        std::lock_guard<std::mutex> lk(p_->mu_);
+        t.key_ = std::make_pair(-priority, p_->task_seq_++);
+        p_->tasks_.emplace(t.key_, std::move(task));
+    }
+    p_->cv_work_.notify_one();
+    return t;
+}
+
+bool thread_pool::ticket::revoke() {
+    const std::shared_ptr<impl> s = pool_.lock();
+    if (!s) return false;  // pool already destroyed (queue fully drained)
+    std::lock_guard<std::mutex> lk(s->mu_);
+    return s->tasks_.erase(key_) > 0;
 }
 
 void thread_pool::parallel_for(std::size_t n,
                                const std::function<void(std::size_t)>& fn) {
     if (n == 0) return;
     impl& s = *p_;
-    if (s.workers_.empty() || n == 1) {
+    // A single-worker pool runs fan-outs inline on the caller: the one
+    // worker either *is* the caller or stays free for queued submissions.
+    if (s.workers_.size() <= 1 || n == 1) {
         for (std::size_t i = 0; i < n; ++i) fn(i);
         return;
     }
@@ -125,6 +177,92 @@ void thread_pool::parallel_for(std::size_t n,
     if (err) std::rethrow_exception(err);
 }
 
+// ---------------------------------------------------------- route_handle
+
+/// Shared between the handle copies and the worker serving the request.
+/// `claimed` decides who completes it: the worker that starts routing, or
+/// a cancel() that gets there first (whoever wins the exchange owns the
+/// completion; the loser backs off).
+struct route_handle::state {
+    routing_request req;
+    submit_options opt;
+    thread_pool::ticket ticket;  ///< set at submit; revoked by cancel()
+    std::atomic<bool> cancel_flag{false};
+    std::atomic<bool> claimed{false};
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool retrieved = false;
+    route_result result;
+
+    void complete(route_result res) {
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            result = std::move(res);
+        }
+        // The callback sees the stored result before any waiter can move
+        // it out (done is still false here).  Its exceptions are swallowed:
+        // a throwing callback must neither kill the completing thread nor
+        // leave waiters blocked on a result that is already in.
+        if (opt.on_complete) {
+            try {
+                opt.on_complete(result);
+            } catch (...) {
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            done = true;
+        }
+        cv.notify_all();
+    }
+};
+
+bool route_handle::done() const {
+    if (!st_) return false;
+    std::lock_guard<std::mutex> lk(st_->mu);
+    return st_->done;
+}
+
+bool route_handle::cancel() {
+    if (!st_) return false;
+    st_->cancel_flag.store(true, std::memory_order_relaxed);
+    if (!st_->claimed.exchange(true, std::memory_order_acq_rel)) {
+        // Still queued: complete it right here — a cancelled request must
+        // not wait behind the backlog — and drop the queued closure so a
+        // cancelled backlog frees its memory now instead of leaving
+        // tombstones for the workers.  (If a worker popped the task just
+        // before the exchange, its serve() finds the state claimed and
+        // backs off.)
+        st_->ticket.revoke();
+        route_result res;
+        res.status = route_status::cancelled;
+        res.status_message = status_message_for(route_status::cancelled);
+        st_->complete(std::move(res));
+        return true;
+    }
+    std::lock_guard<std::mutex> lk(st_->mu);
+    return !st_->done;
+}
+
+std::optional<route_result> route_handle::try_get() {
+    if (!st_) return std::nullopt;
+    std::lock_guard<std::mutex> lk(st_->mu);
+    if (!st_->done || st_->retrieved) return std::nullopt;
+    st_->retrieved = true;
+    return std::move(st_->result);
+}
+
+route_result route_handle::wait() {
+    if (!st_) throw std::logic_error("route_handle: empty handle");
+    std::unique_lock<std::mutex> lk(st_->mu);
+    st_->cv.wait(lk, [&] { return st_->done; });
+    if (st_->retrieved)
+        throw std::logic_error("route_handle: result already retrieved");
+    st_->retrieved = true;
+    return std::move(st_->result);
+}
+
 // --------------------------------------------------------- route_service
 
 route_service::route_service(service_options opt)
@@ -136,6 +274,8 @@ route_service::route_service(service_options opt)
     pool_ = std::make_unique<thread_pool>(threads);
 }
 
+// Members are destroyed in reverse order: the pool first (draining every
+// submitted request, which may still use the context), then the context.
 route_service::~route_service() = default;
 
 task_executor& route_service::executor() { return *pool_; }
@@ -155,18 +295,55 @@ route_result route_service::route(routing_request req) {
     return route_one(std::move(req));
 }
 
-std::vector<batch_entry> route_service::route_batch(
+/// Worker-side execution of one submission: claim it (backing off if a
+/// cancel got there first), wire the cancel token, route, and publish.
+/// Exceptions become route_status::error — isolation by construction.
+void route_service::serve(const std::shared_ptr<route_handle::state>& st) {
+    if (st->claimed.exchange(true, std::memory_order_acq_rel))
+        return;  // cancelled while queued; cancel() completed it
+    routing_request req = std::move(st->req);  // nothing reads it after claim
+    // The handle-wired token carries the submission's flag and deadline;
+    // the request's own token keeps working through the chain (its flag
+    // and deadline are polled too), and its probe is forwarded so every
+    // checkpoint counts exactly once.  caller_tok outlives the route call.
+    const cancel_token caller_tok = req.options.engine.cancel;
+    cancel_token tok(&st->cancel_flag, st->opt.deadline);
+    tok.set_probe(caller_tok.probe());
+    tok.set_chain(&caller_tok);
+    req.options.engine.cancel = tok;
+    route_result res;
+    try {
+        res = route_one(std::move(req));
+    } catch (const std::exception& e) {
+        res = route_result{};
+        res.status = route_status::error;
+        res.status_message = e.what();
+    } catch (...) {
+        res = route_result{};
+        res.status = route_status::error;
+        res.status_message = "unknown error";
+    }
+    st->complete(std::move(res));
+}
+
+route_handle route_service::submit(routing_request req, submit_options opt) {
+    auto st = std::make_shared<route_handle::state>();
+    st->req = std::move(req);
+    st->opt = std::move(opt);
+    const int priority = st->opt.priority;
+    st->ticket = pool_->submit(priority, [this, st] { serve(st); });
+    return route_handle(std::move(st));
+}
+
+std::vector<route_result> route_service::route_batch(
     const std::vector<routing_request>& requests) {
-    std::vector<batch_entry> out(requests.size());
-    pool_->parallel_for(requests.size(), [&](std::size_t i) {
-        try {
-            out[i].result = route_one(requests[i]);
-        } catch (const std::exception& e) {
-            out[i].error = e.what();
-        } catch (...) {
-            out[i].error = "unknown error";
-        }
-    });
+    std::vector<route_handle> handles;
+    handles.reserve(requests.size());
+    for (const routing_request& r : requests)
+        handles.push_back(submit(r));
+    std::vector<route_result> out;
+    out.reserve(handles.size());
+    for (route_handle& h : handles) out.push_back(h.wait());
     return out;
 }
 

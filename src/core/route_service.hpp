@@ -1,43 +1,63 @@
 #pragma once
 
 /// \file route_service.hpp
-/// Batched, multi-threaded front-end over the strategy registry
-/// (DESIGN.md §5) — the serving spine for many concurrent route requests.
+/// Streaming, multi-threaded front-end over the strategy registry
+/// (DESIGN.md §5-§6) — the serving spine for many concurrent route
+/// requests.
 ///
 /// A route_service owns
 ///  * a routing_context (shared delay model, instance cache, scratch pool),
-///  * a thread_pool implementing task_executor.
+///  * a thread_pool implementing task_executor plus a prioritised task
+///    queue of submitted requests.
 ///
-/// `route_batch` fans the requests of a batch across the pool; each
-/// request additionally carries the pool down into the merge engine, whose
-/// multi-merge rounds fan their nearest-neighbour queries and plan() calls
-/// out over the same threads (engine.hpp).  Both levels obey the
-/// write-your-own-slot rule, so batched, threaded runs return results
+/// The primary API is asynchronous: `submit(request, submit_options)`
+/// enqueues one request and returns a `route_handle` immediately; results
+/// stream back as they complete (poll `try_get`, block in `wait`, or
+/// receive a completion callback).  `submit_options` carries a per-request
+/// deadline and a priority — higher-priority submissions are claimed first
+/// by idle workers — and `route_handle::cancel()` requests cooperative
+/// cancellation: queued requests complete as `cancelled` immediately,
+/// running ones stop at the engine's next merge-round checkpoint, so a
+/// runaway difficult instance can no longer hold a batch hostage.
+/// `route_batch` remains as a thin submit-all + wait-all wrapper.
+///
+/// Each request additionally carries the pool down into the merge engine,
+/// whose multi-merge rounds fan their nearest-neighbour queries and plan()
+/// calls out over the same threads (engine.hpp).  Every fan-out obeys the
+/// write-your-own-slot rule, so served, threaded runs return results
 /// bit-identical to direct single-threaded router calls — thread counts
 /// change wall-clock, never trees.
 ///
-/// Failure isolation: each batch entry catches its own exceptions; one
-/// malformed request reports an error string while the rest of the batch
-/// completes normally.
+/// Failure isolation: a worker catches its request's exceptions and
+/// reports them as `route_status::error` in the result; one malformed
+/// request cannot poison its siblings.
 
 #include "core/executor.hpp"
 #include "core/route_context.hpp"
 #include "core/strategy.hpp"
 
+#include <chrono>
+#include <cstdint>
 #include <memory>
-#include <string>
+#include <optional>
+#include <utility>
 #include <vector>
 
 namespace astclk::core {
 
-/// Work-sharing pool of worker threads behind the task_executor contract.
-/// `thread_pool(n)` spawns n-1 workers: the thread calling parallel_for
-/// always participates (and claims everything itself when the workers are
-/// busy), which is what makes nested parallel_for calls — batch level over
-/// engine level — deadlock-free.
+/// Worker pool behind the task_executor contract, with a second, queued
+/// side: prioritised one-shot tasks (the streaming submissions).
+/// `thread_pool(n)` spawns n dedicated workers.  parallel_for fan-outs are
+/// work-shared — the thread calling parallel_for always participates (and
+/// claims everything itself when the workers are busy), which is what
+/// makes nested parallel_for calls — a worker's engine-level fan-out —
+/// deadlock-free; idle workers prefer helping a pending parallel_for over
+/// starting a new task, so fine-grained engine rounds never wait behind
+/// the submission backlog.  Destruction drains the task queue: every task
+/// submitted before teardown still runs.
 class thread_pool final : public task_executor {
   public:
-    /// `threads` <= 1 means no workers (parallel_for runs inline).
+    /// Spawns max(1, threads) worker threads.
     explicit thread_pool(int threads);
     ~thread_pool() override;
 
@@ -46,11 +66,34 @@ class thread_pool final : public task_executor {
 
     void parallel_for(std::size_t n,
                       const std::function<void(std::size_t)>& fn) override;
+    /// The worker count (what a served request's engine fan-out can use).
     [[nodiscard]] int concurrency() const noexcept override;
 
-  private:
     struct impl;
-    std::unique_ptr<impl> p_;
+
+    /// Receipt for one submitted task: revoke() removes the task from the
+    /// queue if no worker claimed it yet (true when removed), freeing its
+    /// closure immediately instead of leaving a tombstone for a worker to
+    /// pop and discard.  Safe to call after the pool died (no-op).
+    class ticket {
+      public:
+        ticket() = default;
+        bool revoke();
+
+      private:
+        friend class thread_pool;
+        std::weak_ptr<impl> pool_;
+        std::pair<int, std::uint64_t> key_{};
+    };
+
+    /// Enqueue one independent task.  Higher `priority` is claimed first;
+    /// submissions of equal priority run in FIFO order.  Tasks own their
+    /// error reporting: an exception escaping the task is swallowed by
+    /// the worker (unlike parallel_for, which rethrows to its caller).
+    ticket submit(int priority, std::function<void()> task);
+
+  private:
+    std::shared_ptr<impl> p_;
 };
 
 struct service_options {
@@ -63,16 +106,64 @@ struct service_options {
     bool parallel_rounds = true;
 };
 
-/// One batch slot: the routed result, or the error that request raised.
-struct batch_entry {
-    route_result result;  ///< valid when `error` is empty
-    std::string error;    ///< exception message of a failed request
-    [[nodiscard]] bool ok() const { return error.empty(); }
+/// Per-submission knobs of the streaming API.
+struct submit_options {
+    /// Absolute completion deadline (steady clock); `no_deadline()` means
+    /// none.  An already-expired deadline reports `deadline_exceeded`
+    /// without entering the engine; one that fires mid-route stops the
+    /// reduce at the next merge-round checkpoint.
+    std::chrono::steady_clock::time_point deadline =
+        cancel_token::no_deadline();
+    /// Idle workers claim higher-priority submissions first (FIFO within
+    /// one level).  Already-running requests are never preempted.
+    int priority = 0;
+    /// Optional completion callback, invoked on the completing thread — a
+    /// worker, or the cancel() caller when a still-queued request is
+    /// cancelled — after the result is stored but before waiters wake; it
+    /// receives the result by reference and must not call try_get/wait
+    /// itself.  Exceptions it throws are swallowed.
+    std::function<void(const route_result&)> on_complete;
+};
+
+/// Handle to one submitted request.  Copyable (all copies address the same
+/// submission); the result is retrieved once — by the first successful
+/// try_get() or wait() — and the handle stays valid after the service that
+/// issued it is destroyed (destruction drains the queue first).
+class route_handle {
+  public:
+    route_handle() = default;  ///< empty; valid() is false
+
+    [[nodiscard]] bool valid() const noexcept { return st_ != nullptr; }
+    /// True once the result is available (try_get would succeed, wait
+    /// would not block).
+    [[nodiscard]] bool done() const;
+    /// Request cooperative cancellation.  A still-queued request completes
+    /// as `cancelled` immediately (inside this call); a running one stops
+    /// at the engine's next merge-round checkpoint.  Returns true when the
+    /// request had not completed yet (the cancellation can still take
+    /// effect), false when the result was already in.
+    bool cancel();
+    /// Non-blocking: the result if it is ready and not yet retrieved
+    /// (moved out — one-shot), nullopt otherwise.
+    std::optional<route_result> try_get();
+    /// Block until the result is ready and return it (moved out — one
+    /// shot; a second retrieval throws std::logic_error, as does calling
+    /// this on an empty handle).
+    route_result wait();
+
+  private:
+    friend class route_service;
+    struct state;
+    explicit route_handle(std::shared_ptr<state> st) : st_(std::move(st)) {}
+    std::shared_ptr<state> st_;
 };
 
 class route_service {
   public:
     explicit route_service(service_options opt = {});
+    /// Drains every submitted request (queued ones included) before
+    /// returning; handles outlive the service.  Cancel explicitly for a
+    /// fast shutdown.
     ~route_service();
 
     route_service(const route_service&) = delete;
@@ -80,22 +171,36 @@ class route_service {
 
     [[nodiscard]] routing_context& context() { return ctx_; }
     [[nodiscard]] task_executor& executor();
-    /// Threads that may execute work simultaneously (workers + caller).
+    /// Threads that may execute route work simultaneously (the workers).
     [[nodiscard]] int threads() const;
 
-    /// Route one request on the service's context (timing recorded by the
-    /// strategy dispatch; threads_used reflects the pool).  Propagates
-    /// exceptions — isolation is a batch-level concern.
+    /// Submit one request for asynchronous routing; returns immediately.
+    /// The request is routed on a worker with the service's context and a
+    /// cancel token wired to the handle; any token already on the
+    /// request's own engine options keeps working — its flag and deadline
+    /// are chained behind the handle's, its probe is forwarded — so
+    /// whichever of handle, caller flag, `opt.deadline` or request
+    /// deadline fires first stops the run.
+    route_handle submit(routing_request req, submit_options opt = {});
+
+    /// Route one request synchronously on the calling thread (timing
+    /// recorded by the strategy dispatch; threads_used reflects the pool).
+    /// Propagates exceptions — status conversion is a submission-level
+    /// concern.  Note the engine fan-out of this path runs on the calling
+    /// thread plus the workers, so it may briefly engage threads()+1
+    /// threads; submitted requests run on a worker and stay within
+    /// threads().
     route_result route(routing_request req);
 
-    /// Route a batch concurrently; results[i] always corresponds to
-    /// requests[i], and every entry is either a result or that request's
-    /// error message.
-    std::vector<batch_entry> route_batch(
+    /// Thin batch wrapper: submit-all + wait-all.  results[i] always
+    /// corresponds to requests[i]; a failed request reports through its
+    /// result's status/status_message while the rest complete normally.
+    std::vector<route_result> route_batch(
         const std::vector<routing_request>& requests);
 
   private:
     route_result route_one(routing_request req);
+    void serve(const std::shared_ptr<route_handle::state>& st);
 
     service_options opt_;
     routing_context ctx_;

@@ -27,9 +27,19 @@
 #include "topo/instance.hpp"
 #include "topo/tree.hpp"
 
+#include <string>
+
 namespace astclk::core {
 
 struct route_result {
+    /// Terminal disposition (executor.hpp): anything but `ok` means the
+    /// tree below is empty/partial and must not be consumed.  Replaces the
+    /// former bare error-string signaling — callers branch on the kind
+    /// instead of string-matching.
+    route_status status = route_status::ok;
+    /// Human detail for non-ok statuses ("cancelled", "deadline exceeded",
+    /// or the exception message of an errored request); empty when ok.
+    std::string status_message;
     topo::clock_tree tree;
     engine_stats stats;
     embed_report embed;
@@ -41,6 +51,8 @@ struct route_result {
     int threads_used = 1;
     bool used_ledger_fallback = false;  ///< AST auto mode: windowed attempt
                                         ///< violated a bound, exact rerun used
+
+    [[nodiscard]] bool ok() const { return status == route_status::ok; }
 };
 
 /// Strategy for AST-DME (see DESIGN.md §3):

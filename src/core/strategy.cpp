@@ -76,7 +76,29 @@ route_result route(const routing_request& req, routing_context& ctx) {
         throw std::invalid_argument("routing_request: instance is null");
     const strategy_fn fn = strategy_registry::global().find(req.strategy);
     const auto t0 = std::chrono::steady_clock::now();
-    route_result res = fn(req, ctx);
+    route_result res;
+    const cancel_token& tok = req.options.engine.cancel;
+    // Checkpoint zero: a token that already fired (cancelled before claim,
+    // zero/expired deadline) reports its status without entering the
+    // strategy — no leaves, no scratch lease, no reduce.
+    const route_status pre =
+        tok.armed() ? tok.poll() : route_status::ok;
+    if (pre != route_status::ok) {
+        res.status = pre;
+        res.status_message = status_message_for(pre);
+    } else {
+        try {
+            res = fn(req, ctx);
+        } catch (const route_interrupt& stop) {
+            // A mid-reduce checkpoint fired: the partial tree died with the
+            // unwind (scratch lease and instance borrow released on the
+            // way); the status and the work burned so far survive.
+            res = route_result{};
+            res.status = stop.status();
+            res.status_message = stop.what();
+            res.stats = stop.stats();
+        }
+    }
     res.cpu_seconds = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - t0)
                           .count();

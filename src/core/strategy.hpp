@@ -109,8 +109,15 @@ class strategy_registry {
 /// registry, then records `cpu_seconds` (wall clock of the strategy body)
 /// and `threads_used` (executor concurrency, 1 when sequential) — the one
 /// place timing is measured, identical for direct and batched calls.
+/// Cooperative cancellation: the request's cancel token
+/// (`options.engine.cancel`) is polled once before dispatch — an
+/// already-fired token (zero/expired deadline, pre-cancelled flag) returns
+/// its status without entering the strategy — and a route_interrupt thrown
+/// by an engine checkpoint is converted into a result with that status
+/// (`cancelled` / `deadline_exceeded`); the partial tree is discarded.
 /// Throws std::invalid_argument on a null instance, std::out_of_range on
-/// an unregistered strategy id.
+/// an unregistered strategy id; other strategy exceptions propagate (the
+/// streaming service converts them to `route_status::error`).
 route_result route(const routing_request& req, routing_context& ctx);
 
 /// Convenience overload with a transient private context (no sharing).

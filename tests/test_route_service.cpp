@@ -1,9 +1,11 @@
-// Service-layer tests: batched route_service runs must be bit-identical
-// to direct single-threaded router calls for all four strategies on both
-// NN backends, deterministic across thread counts, and isolate a failing
-// request from the rest of its batch.  Also covers the strategy registry,
-// uniform timing/threads bookkeeping, scratch reuse, and the parallel
-// multi-merge fan-out.
+// Service-layer tests: batched and streamed route_service runs must be
+// bit-identical to direct single-threaded router calls for all four
+// strategies on both NN backends, deterministic across thread counts, and
+// isolate a failing request from the rest of its batch.  Also covers the
+// streaming API (async submit, priority ordering, per-request deadlines,
+// cooperative cancellation with one-round latency, scratch-pool recovery),
+// the strategy registry, uniform timing/threads bookkeeping, scratch
+// reuse, and the parallel multi-merge fan-out.
 
 #include "core/route_service.hpp"
 #include "eval/report.hpp"
@@ -12,7 +14,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
+#include <vector>
 
 namespace astclk::core {
 namespace {
@@ -36,6 +45,8 @@ topo::instance small_instance(int n, int k, std::uint64_t seed,
 /// node's topology/geometry (the acceptance bar for threaded execution).
 void expect_same_route(const route_result& a, const route_result& b,
                        const std::string& what) {
+    EXPECT_TRUE(a.ok()) << what << ": " << a.status_message;
+    EXPECT_TRUE(b.ok()) << what << ": " << b.status_message;
     EXPECT_EQ(a.wirelength, b.wirelength) << what;
     EXPECT_EQ(a.stats.merges, b.stats.merges) << what;
     EXPECT_EQ(a.stats.snake_wire, b.stats.snake_wire) << what;
@@ -91,6 +102,62 @@ route_result direct_call(const routing_request& r) {
     throw std::logic_error("unknown strategy");
 }
 
+// ------------------------------------------------------ blocker strategy
+// A registered test strategy that parks its worker on a gate until the
+// test releases it — the deterministic way to pin a single-worker pool at
+// a known point while submissions queue up behind it.
+
+struct worker_gate {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool open = false;
+    bool entered = false;
+
+    void reset() {
+        std::lock_guard<std::mutex> lk(mu);
+        open = false;
+        entered = false;
+    }
+    void wait_entered() {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return entered; });
+    }
+    void release() {
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            open = true;
+        }
+        cv.notify_all();
+    }
+};
+
+worker_gate& blocker_gate() {
+    static worker_gate g;
+    return g;
+}
+
+route_result strategy_blocker(const routing_request&, routing_context&) {
+    worker_gate& g = blocker_gate();
+    std::unique_lock<std::mutex> lk(g.mu);
+    g.entered = true;
+    g.cv.notify_all();
+    g.cv.wait(lk, [&] { return g.open; });
+    return {};
+}
+
+constexpr strategy_id kblocker_id = static_cast<strategy_id>(100);
+
+void ensure_blocker_registered() {
+    static bool once = [] {
+        strategy_registry::global().add(kblocker_id, "test_blocker", "tblk",
+                                        &strategy_blocker);
+        return true;
+    }();
+    (void)once;
+}
+
+// ------------------------------------------------------------- the tests
+
 TEST(RouteService, BatchedMatchesDirectCallsBitExact) {
     const auto mix = small_instance(90, 5, 21, true);
     const auto box = small_instance(70, 4, 22, false);
@@ -102,11 +169,46 @@ TEST(RouteService, BatchedMatchesDirectCallsBitExact) {
         const auto got = svc.route_batch(reqs);
         ASSERT_EQ(got.size(), reqs.size());
         for (std::size_t i = 0; i < reqs.size(); ++i) {
-            ASSERT_TRUE(got[i].ok()) << got[i].error;
+            ASSERT_TRUE(got[i].ok()) << got[i].status_message;
             const auto ref = direct_call(reqs[i]);
-            expect_same_route(got[i].result, ref,
+            expect_same_route(got[i], ref,
                               strategy_registry::global().name_of(
                                   reqs[i].strategy));
+        }
+    }
+}
+
+TEST(RouteService, StreamingSubmitMatchesDirectCallsBitExact) {
+    // The full identity matrix: all 4 strategies x both backends x
+    // {batch wrapper, streaming submit} x thread counts {1, 2, hw}.
+    const auto inst = small_instance(90, 5, 21, true);
+    const auto reqs = all_requests(inst);
+    std::vector<route_result> refs;
+    refs.reserve(reqs.size());
+    for (const auto& r : reqs) refs.push_back(direct_call(r));
+
+    const std::vector<int> counts{
+        1, 2,
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()))};
+    for (const int threads : counts) {
+        service_options sopt;
+        sopt.threads = threads;
+        route_service svc(sopt);
+
+        const auto batch = svc.route_batch(reqs);
+        std::vector<route_handle> handles;
+        handles.reserve(reqs.size());
+        for (const auto& r : reqs) handles.push_back(svc.submit(r));
+
+        ASSERT_EQ(batch.size(), reqs.size());
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+            const std::string what =
+                strategy_registry::global().name_of(reqs[i].strategy) +
+                " threads=" + std::to_string(threads) + " req " +
+                std::to_string(i);
+            expect_same_route(batch[i], refs[i], "batch " + what);
+            const auto streamed = handles[i].wait();
+            expect_same_route(streamed, refs[i], "stream " + what);
         }
     }
 }
@@ -122,7 +224,7 @@ TEST(RouteService, DeterministicAcrossThreadCounts) {
     std::vector<int> counts{1, 2,
                             static_cast<int>(std::max(
                                 1u, std::thread::hardware_concurrency()))};
-    std::vector<std::vector<batch_entry>> runs;
+    std::vector<std::vector<route_result>> runs;
     for (const int threads : counts) {
         service_options sopt;
         sopt.threads = threads;
@@ -131,9 +233,9 @@ TEST(RouteService, DeterministicAcrossThreadCounts) {
     }
     for (std::size_t run = 1; run < runs.size(); ++run) {
         for (std::size_t i = 0; i < reqs.size(); ++i) {
-            ASSERT_TRUE(runs[run][i].ok()) << runs[run][i].error;
+            ASSERT_TRUE(runs[run][i].ok()) << runs[run][i].status_message;
             expect_same_route(
-                runs[run][i].result, runs[0][i].result,
+                runs[run][i], runs[0][i],
                 "threads=" + std::to_string(counts[run]) + " req " +
                     std::to_string(i));
         }
@@ -162,23 +264,25 @@ TEST(RouteService, ParallelMultiMergeMatchesSequentialEngine) {
     }
 }
 
-TEST(RouteService, ExceptionInOneRequestIsIsolated) {
+TEST(RouteService, ErrorInOneRequestIsIsolatedWithStatus) {
     const auto inst = small_instance(60, 4, 55, true);
     auto good = all_requests(inst);
     std::vector<routing_request> reqs{good[0], routing_request{}, good[1]};
-    // reqs[1].instance is null: the dispatch must throw for that slot only.
+    // reqs[1].instance is null: that slot alone must report
+    // route_status::error — no string matching needed to classify it.
     service_options sopt;
     sopt.threads = 2;
     route_service svc(sopt);
     const auto got = svc.route_batch(reqs);
     ASSERT_EQ(got.size(), 3u);
-    EXPECT_TRUE(got[0].ok()) << got[0].error;
+    EXPECT_TRUE(got[0].ok()) << got[0].status_message;
+    EXPECT_EQ(got[1].status, route_status::error);
     EXPECT_FALSE(got[1].ok());
-    EXPECT_NE(got[1].error.find("instance"), std::string::npos)
-        << got[1].error;
-    EXPECT_TRUE(got[2].ok()) << got[2].error;
-    expect_same_route(got[0].result, direct_call(reqs[0]), "isolated[0]");
-    expect_same_route(got[2].result, direct_call(reqs[2]), "isolated[2]");
+    EXPECT_NE(got[1].status_message.find("instance"), std::string::npos)
+        << got[1].status_message;
+    EXPECT_TRUE(got[2].ok()) << got[2].status_message;
+    expect_same_route(got[0], direct_call(reqs[0]), "isolated[0]");
+    expect_same_route(got[2], direct_call(reqs[2]), "isolated[2]");
 }
 
 TEST(RouteService, ScratchAndInstanceReuseAreBitIdentical) {
@@ -216,8 +320,8 @@ TEST(RouteService, TimingAndThreadsRecordedUniformly) {
     EXPECT_EQ(served.threads_used, 3);
     const auto batch = svc.route_batch({r});
     ASSERT_TRUE(batch[0].ok());
-    EXPECT_GT(batch[0].result.cpu_seconds, 0.0);
-    EXPECT_EQ(batch[0].result.threads_used, 3);
+    EXPECT_GT(batch[0].cpu_seconds, 0.0);
+    EXPECT_EQ(batch[0].threads_used, 3);
 }
 
 TEST(RouteService, RegistryResolvesNamesAndRejectsUnknownIds) {
@@ -228,7 +332,12 @@ TEST(RouteService, RegistryResolvesNamesAndRejectsUnknownIds) {
     EXPECT_EQ(reg.id_of("bst"), strategy_id::ext_bst);
     EXPECT_EQ(reg.id_of("sep"), strategy_id::separate_stitch);
     EXPECT_FALSE(reg.id_of("nonesuch").has_value());
-    EXPECT_EQ(reg.names().size(), 4u);
+    // Other tests may have registered extensions (the blocker strategy);
+    // the four built-ins are always present.
+    EXPECT_GE(reg.names().size(), 4u);
+    for (const char* name :
+         {"zst_dme", "ext_bst", "ast_dme", "separate_stitch"})
+        EXPECT_TRUE(reg.id_of(name).has_value()) << name;
     EXPECT_EQ(reg.name_of(strategy_id::ext_bst), "ext_bst");
 
     const auto inst = small_instance(24, 1, 88, false);
@@ -250,11 +359,362 @@ TEST(RouteService, BatchedResultsStillVerify) {
     sopt.threads = 2;
     route_service svc(sopt);
     const auto got = svc.route_batch({r});
-    ASSERT_TRUE(got[0].ok()) << got[0].error;
+    ASSERT_TRUE(got[0].ok()) << got[0].status_message;
     const router_options opt;
-    const auto vr = eval::verify_route(got[0].result, inst, opt.model,
+    const auto vr = eval::verify_route(got[0], inst, opt.model,
                                        skew_spec::zero());
     EXPECT_TRUE(vr.ok) << vr.message;
+}
+
+TEST(RouteService, StatusNamesAreStable) {
+    EXPECT_STREQ(to_string(route_status::ok), "ok");
+    EXPECT_STREQ(to_string(route_status::cancelled), "cancelled");
+    EXPECT_STREQ(to_string(route_status::deadline_exceeded),
+                 "deadline_exceeded");
+    EXPECT_STREQ(to_string(route_status::error), "error");
+}
+
+TEST(RouteService, CompletionCallbackAndTryGet) {
+    const auto inst = small_instance(60, 4, 12, true);
+    routing_request r;
+    r.instance = &inst;
+    const auto ref = direct_call(r);
+
+    service_options sopt;
+    sopt.threads = 2;
+    route_service svc(sopt);
+    std::atomic<int> callbacks{0};
+    std::atomic<double> seen_wl{0.0};
+    submit_options so;
+    so.on_complete = [&](const route_result& res) {
+        ++callbacks;
+        seen_wl.store(res.wirelength);
+    };
+    route_handle h = svc.submit(r, so);
+    ASSERT_TRUE(h.valid());
+    std::optional<route_result> got;
+    while (!got.has_value()) {  // streaming consumption: poll try_get
+        got = h.try_get();
+        if (!got.has_value())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(h.done());
+    EXPECT_EQ(callbacks.load(), 1);
+    EXPECT_EQ(seen_wl.load(), got->wirelength);
+    expect_same_route(*got, ref, "try_get stream");
+    EXPECT_FALSE(h.try_get().has_value());  // one-shot retrieval
+    EXPECT_FALSE(h.cancel());               // already completed
+}
+
+TEST(RouteService, PriorityOrderIsClaimedFirstBySingleWorker) {
+    // A single-worker pool makes claim order observable: hold the worker
+    // on the blocker gate, queue a low-priority backlog, then a late
+    // high-priority submit — the high one must complete before the
+    // backlog.
+    ensure_blocker_registered();
+    blocker_gate().reset();
+    const auto inst = small_instance(40, 3, 7, true);
+
+    service_options sopt;
+    sopt.threads = 1;
+    route_service svc(sopt);
+
+    std::mutex order_mu;
+    std::vector<std::string> order;
+    const auto tagged = [&](const char* label, int priority) {
+        submit_options so;
+        so.priority = priority;
+        so.on_complete = [&, label](const route_result&) {
+            std::lock_guard<std::mutex> lk(order_mu);
+            order.emplace_back(label);
+        };
+        return so;
+    };
+
+    routing_request blocker;
+    blocker.instance = &inst;
+    blocker.strategy = kblocker_id;
+    auto hgate = svc.submit(blocker, tagged("gate", 100));
+    blocker_gate().wait_entered();  // the worker is now pinned
+
+    routing_request r;
+    r.instance = &inst;
+    auto hlow1 = svc.submit(r, tagged("low1", 0));
+    auto hlow2 = svc.submit(r, tagged("low2", 0));
+    auto hhigh = svc.submit(r, tagged("high", 7));  // late but urgent
+
+    blocker_gate().release();
+    (void)hgate.wait();
+    const auto rhigh = hhigh.wait();
+    const auto rlow1 = hlow1.wait();
+    const auto rlow2 = hlow2.wait();
+    EXPECT_TRUE(rhigh.ok() && rlow1.ok() && rlow2.ok());
+
+    const std::vector<std::string> expected{"gate", "high", "low1", "low2"};
+    EXPECT_EQ(order, expected);
+    expect_same_route(rhigh, direct_call(r), "priority result");
+}
+
+TEST(RouteService, CancelQueuedRequestCompletesImmediately) {
+    ensure_blocker_registered();
+    blocker_gate().reset();
+    const auto inst = small_instance(40, 3, 8, true);
+
+    service_options sopt;
+    sopt.threads = 1;
+    route_service svc(sopt);
+
+    routing_request blocker;
+    blocker.instance = &inst;
+    blocker.strategy = kblocker_id;
+    auto hgate = svc.submit(blocker);
+    blocker_gate().wait_entered();
+
+    routing_request r;
+    r.instance = &inst;
+    auto h = svc.submit(r);
+    EXPECT_FALSE(h.done());
+    EXPECT_TRUE(h.cancel());  // still queued: completes inside the call
+    EXPECT_TRUE(h.done());    // did not wait for the pinned worker
+    auto res = h.try_get();
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->status, route_status::cancelled);
+    EXPECT_EQ(res->status_message, "cancelled");
+    EXPECT_EQ(res->tree.size(), 0u);
+
+    blocker_gate().release();
+    EXPECT_TRUE(hgate.wait().ok());
+    // The cancelled slot never perturbed the service: the same request
+    // routes normally afterwards.
+    expect_same_route(svc.submit(r).wait(), direct_call(r),
+                      "post-cancel resubmit");
+}
+
+TEST(RouteService, CancelMidReduceStopsWithinOneRoundAndFreesScratch) {
+    const auto inst = small_instance(150, 6, 44, true);
+    routing_request base;
+    base.instance = &inst;
+    base.mode = ast_mode::windowed;
+
+    // Count the checkpoints of an unperturbed run (poll 1 is the dispatch
+    // pre-check; each engine selection step polls once before working).
+    cancel_probe counting;
+    routing_context warm;
+    {
+        routing_request r = base;
+        r.options.engine.cancel.set_probe(&counting);
+        ASSERT_TRUE(route(r, warm).ok());
+    }
+    ASSERT_GT(counting.polls, 20u);
+    const std::uint64_t trip = counting.polls / 2;
+
+    // Trip the cancel flag at checkpoint `trip`: the same poll must
+    // observe it — cancellation latency is bounded by one merge round.
+    std::atomic<bool> flag{false};
+    cancel_probe probe;
+    probe.on_poll = [&](std::uint64_t k) {
+        if (k == trip) flag.store(true, std::memory_order_relaxed);
+    };
+    routing_context ctx;
+    routing_request r = base;
+    r.options.engine.cancel =
+        cancel_token(&flag, cancel_token::no_deadline());
+    r.options.engine.cancel.set_probe(&probe);
+    const auto res = route(r, ctx);
+    EXPECT_EQ(res.status, route_status::cancelled);
+    EXPECT_EQ(res.status_message, "cancelled");
+    EXPECT_EQ(res.tree.size(), 0u);
+    EXPECT_EQ(probe.polls, trip);          // stopped at that checkpoint
+    // Polls 2..trip-1 each preceded at most one commit, so the burned
+    // work (reported via the interrupt's stats) is bounded by the
+    // checkpoint count — and non-zero, proving a genuine mid-reduce stop.
+    EXPECT_GT(res.stats.merges, 0);
+    EXPECT_LE(res.stats.merges, static_cast<int>(trip) - 2);
+    EXPECT_EQ(ctx.pooled_scratch(), 1u);   // lease released by the unwind
+
+    // The pool is reusable: an identical request on the same context is
+    // bit-identical to a fresh transient-context run.
+    const auto again = route(base, ctx);
+    expect_same_route(again, route(base), "post-cancel scratch reuse");
+}
+
+TEST(RouteService, CancelMidMultiMergeStopsAtRoundBoundary) {
+    const auto inst = small_instance(150, 6, 44, true);
+    routing_request base;
+    base.instance = &inst;
+    base.mode = ast_mode::windowed;
+    base.options.engine.order = merge_order::multi_merge;
+
+    cancel_probe counting;
+    routing_context warm;
+    {
+        routing_request r = base;
+        r.options.engine.cancel.set_probe(&counting);
+        ASSERT_TRUE(route(r, warm).ok());
+    }
+    ASSERT_GT(counting.polls, 4u);
+    const std::uint64_t trip = counting.polls / 2;
+
+    std::atomic<bool> flag{false};
+    cancel_probe probe;
+    probe.on_poll = [&](std::uint64_t k) {
+        if (k == trip) flag.store(true, std::memory_order_relaxed);
+    };
+    routing_context ctx;
+    routing_request r = base;
+    r.options.engine.cancel =
+        cancel_token(&flag, cancel_token::no_deadline());
+    r.options.engine.cancel.set_probe(&probe);
+    const auto res = route(r, ctx);
+    EXPECT_EQ(res.status, route_status::cancelled);
+    EXPECT_EQ(probe.polls, trip);
+    // Polls 2..trip-1 each completed exactly one multi-merge round before
+    // the flag was observed at `trip` — one-round latency, by count.
+    EXPECT_EQ(res.stats.rounds, static_cast<int>(trip - 2));
+}
+
+TEST(RouteService, CallerTokenFlagIsHonoredThroughSubmit) {
+    // A request arriving with its own cancel flag keeps it working on the
+    // async path: the service chains the request token behind the
+    // handle-wired one, so either flag stops the run.
+    const auto inst = small_instance(150, 6, 44, true);
+    routing_request r;
+    r.instance = &inst;
+    r.mode = ast_mode::windowed;
+    std::atomic<bool> my_flag{false};
+    cancel_probe probe;
+    probe.on_poll = [&](std::uint64_t k) {
+        if (k == 30) my_flag.store(true, std::memory_order_relaxed);
+    };
+    r.options.engine.cancel =
+        cancel_token(&my_flag, cancel_token::no_deadline());
+    r.options.engine.cancel.set_probe(&probe);
+
+    service_options sopt;
+    sopt.threads = 1;
+    route_service svc(sopt);
+    const auto res = svc.submit(r).wait();
+    EXPECT_EQ(res.status, route_status::cancelled);
+    EXPECT_EQ(probe.polls, 30u);  // probe forwarded, counted once per poll
+    EXPECT_EQ(res.tree.size(), 0u);
+}
+
+TEST(RouteService, ExpiredDeadlineSkipsReduceEntirely) {
+    const auto inst = small_instance(80, 4, 9, true);
+    routing_request r;
+    r.instance = &inst;
+    cancel_probe probe;
+    r.options.engine.cancel.set_probe(&probe);
+
+    service_options sopt;
+    sopt.threads = 2;
+    route_service svc(sopt);
+    submit_options so;
+    so.deadline = std::chrono::steady_clock::now();  // already expired
+    const auto res = svc.submit(r, so).wait();
+    EXPECT_EQ(res.status, route_status::deadline_exceeded);
+    EXPECT_EQ(res.status_message, "deadline exceeded");
+    EXPECT_EQ(res.stats.merges, 0);
+    EXPECT_EQ(res.tree.size(), 0u);
+    EXPECT_EQ(probe.polls, 1u);  // only the dispatch pre-check ran
+
+    // Same contract on the direct path: a request whose own token carries
+    // an expired deadline never enters the strategy.
+    routing_request direct = r;
+    direct.options.engine.cancel =
+        cancel_token(nullptr, std::chrono::steady_clock::now());
+    const auto dres = route(direct);
+    EXPECT_EQ(dres.status, route_status::deadline_exceeded);
+    EXPECT_EQ(dres.stats.merges, 0);
+}
+
+TEST(RouteService, DeadlineFiringMidReduceReportsDeadlineExceeded) {
+    const auto inst = small_instance(120, 5, 10, true);
+    routing_request r;
+    r.instance = &inst;
+    r.mode = ast_mode::windowed;
+    // Park the reduce at its second checkpoint until the deadline is
+    // safely in the past, so the mid-run expiry is deterministic.
+    cancel_probe probe;
+    probe.on_poll = [](std::uint64_t k) {
+        if (k == 2)
+            std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    };
+    r.options.engine.cancel.set_probe(&probe);
+
+    service_options sopt;
+    sopt.threads = 1;
+    route_service svc(sopt);
+    submit_options so;
+    so.deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(100);
+    const auto res = svc.submit(r, so).wait();
+    EXPECT_EQ(res.status, route_status::deadline_exceeded);
+    EXPECT_EQ(res.stats.merges, 0);
+    EXPECT_EQ(res.tree.size(), 0u);
+}
+
+TEST(RouteService, CancelMidReduceNeverPerturbsSiblings) {
+    const auto inst = small_instance(150, 6, 44, true);
+    routing_request req;
+    req.instance = &inst;
+    req.mode = ast_mode::windowed;
+    const auto ref = direct_call(req);
+
+    service_options sopt;
+    sopt.threads = 2;
+    route_service svc(sopt);
+
+    // The victim cancels *itself* from an engine checkpoint through its
+    // public handle — exactly a cancel() racing a running reduce, made
+    // deterministic (the checkpoint blocks until the handle exists).
+    std::mutex hmu;
+    std::condition_variable hcv;
+    bool hset = false;
+    route_handle victim;
+    cancel_probe probe;
+    probe.on_poll = [&](std::uint64_t k) {
+        if (k != 40) return;
+        std::unique_lock<std::mutex> lk(hmu);
+        hcv.wait(lk, [&] { return hset; });
+        EXPECT_TRUE(victim.cancel());  // running: cooperative
+    };
+    routing_request vreq = req;
+    vreq.options.engine.cancel.set_probe(&probe);
+    auto h = svc.submit(vreq);
+    {
+        std::lock_guard<std::mutex> lk(hmu);
+        victim = h;
+        hset = true;
+    }
+    hcv.notify_all();
+    auto sibling = svc.submit(req);  // identical, uncancelled
+
+    const auto vres = h.wait();
+    EXPECT_EQ(vres.status, route_status::cancelled);
+    EXPECT_EQ(vres.tree.size(), 0u);
+    const auto sres = sibling.wait();
+    expect_same_route(sres, ref, "sibling of a cancelled request");
+    // And the service remains pristine for the victim's request too.
+    expect_same_route(svc.submit(req).wait(), ref, "victim resubmitted");
+}
+
+TEST(RouteService, DestructionDrainsAndHandlesOutliveTheService) {
+    const auto inst = small_instance(70, 4, 13, true);
+    routing_request r;
+    r.instance = &inst;
+    const auto ref = direct_call(r);
+    std::vector<route_handle> handles;
+    {
+        service_options sopt;
+        sopt.threads = 2;
+        route_service svc(sopt);
+        for (int i = 0; i < 3; ++i) handles.push_back(svc.submit(r));
+    }  // destructor drains the queue; results stay reachable
+    for (auto& h : handles) {
+        const auto res = h.wait();  // must not block or dangle
+        expect_same_route(res, ref, "post-destruction result");
+    }
 }
 
 }  // namespace
