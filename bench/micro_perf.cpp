@@ -20,6 +20,7 @@
 #include <chrono>
 #include <cstring>
 #include <limits>
+#include <thread>
 
 namespace {
 
@@ -55,6 +56,56 @@ bench::perf_record bench_reduce(const topo::instance& inst,
         engine.reduce(t, std::move(roots), &st);
         rec.seconds = std::min(rec.seconds, now_diff(t0));
         rec.merges = st.merges;
+    }
+    rec.merges_per_sec =
+        rec.seconds > 0.0 ? static_cast<double>(rec.merges) / rec.seconds : 0.0;
+    return rec;
+}
+
+/// The speculative nearest-pair pipeline in isolation: one engine.reduce
+/// at a given worker-thread count and speculate_k, grid backend.  The
+/// backend tag encodes the configuration ("t1", "t1s4", "thw", "thws16",
+/// ...) so perf_diff can gate the plain single-thread series
+/// (nearest_pair:t1) while the speculative ones ride along as info.
+/// cache-hit and wasted-speculation rates come from the engine counters
+/// (deterministic, so any repetition reports the same rates).
+bench::perf_record bench_nearest_pair(const topo::instance& inst, int threads,
+                                      int speculate_k, int reps) {
+    core::engine_options eopt;
+    eopt.backend = core::nn_backend::grid;
+    eopt.speculate_k = speculate_k;
+    std::unique_ptr<core::thread_pool> pool;
+    if (threads > 1) {
+        pool = std::make_unique<core::thread_pool>(threads);
+        eopt.executor = pool.get();
+    }
+    const core::merge_solver solver(rc::delay_model::elmore(),
+                                    core::skew_spec::zero());
+    const core::bottom_up_engine engine(solver, eopt);
+    bench::perf_record rec;
+    rec.bench = "nearest_pair";
+    rec.backend = (threads > 1 ? "thw" : "t1");
+    if (speculate_k > 0) rec.backend += "s" + std::to_string(speculate_k);
+    rec.n = static_cast<int>(inst.sinks.size());
+    rec.seconds = std::numeric_limits<double>::infinity();
+    core::engine_scratch scratch;
+    for (int rep = 0; rep < reps; ++rep) {
+        topo::clock_tree t;
+        auto roots = core::detail::make_leaves(inst, t, false);
+        core::engine_stats st;
+        const auto t0 = std::chrono::steady_clock::now();
+        engine.reduce(t, std::move(roots), &st, &scratch);
+        rec.seconds = std::min(rec.seconds, now_diff(t0));
+        rec.merges = st.merges;
+        const int lookups = st.plan_cache_hits + st.plan_cache_misses;
+        rec.cache_hit_rate =
+            lookups > 0 ? static_cast<double>(st.plan_cache_hits) / lookups
+                        : 0.0;
+        rec.wasted_spec_rate =
+            st.speculated_plans > 0
+                ? static_cast<double>(st.wasted_speculation) /
+                      st.speculated_plans
+                : 0.0;
     }
     rec.merges_per_sec =
         rec.seconds > 0.0 ? static_cast<double>(rec.merges) / rec.seconds : 0.0;
@@ -247,6 +298,49 @@ int main(int argc, char** argv) {
                        io::table::integer(lin.merges_per_sec), "1.00x"});
             records.push_back(grid);
             records.push_back(lin);
+        }
+    }
+
+    // Speculative nearest-pair pipeline: reduce wall-clock across worker
+    // threads {1, hw} x speculate_k {0, 4, 16}.  The t1 rows with k > 0
+    // are deliberate no-op canaries: without an executor the knob must
+    // change nothing, so t1s4/t1s16 matching t1 (time and rates) is
+    // itself the asserted property — if speculation ever engaged on the
+    // sequential path, these rows would diverge and flag it.  The n=2048 series runs in
+    // quick mode too, so the committed full baseline always shares an n
+    // with the CI smoke run — and 2048 is deliberately the smallest size
+    // whose single-thread reduce (~10 ms) is long enough for the 20%
+    // nearest_pair:t1 gate to measure the engine instead of allocator
+    // warm-up noise.  perf_diff gates the plain
+    // single-thread series (nearest_pair:t1); on 1-core hardware the
+    // speculative series measure dispatch overhead, and the JSON carries
+    // the cache-hit / wasted-speculation rates that prove the pipeline
+    // engaged.
+    {
+        std::vector<int> np_sizes{2048};
+        if (!quick) np_sizes.push_back(3101);
+        const int threads_hw = static_cast<int>(
+            std::max(2u, std::thread::hardware_concurrency()));
+        for (const int n : np_sizes) {
+            gen::instance_spec spec = gen::paper_spec("r1");
+            spec.num_sinks = n;
+            auto inst = gen::generate(spec);
+            gen::apply_intermingled_groups(inst, 6, 1);
+            // More repetitions than the sweep benches: the t1 series is
+            // gated at 20% and a ~10 ms kernel needs a deeper best-of to
+            // keep scheduler noise out of the committed baseline.
+            const int reps = n >= 3000 ? 3 : 7;
+            for (const int threads : {1, threads_hw}) {
+                for (const int k : {0, 4, 16}) {
+                    const auto rec =
+                        bench_nearest_pair(inst, threads, k, reps);
+                    t.add_row({rec.bench, std::to_string(rec.n), rec.backend,
+                               io::table::fixed(rec.seconds, 4),
+                               io::table::integer(rec.merges_per_sec),
+                               io::table::percent(rec.cache_hit_rate)});
+                    records.push_back(rec);
+                }
+            }
         }
     }
 

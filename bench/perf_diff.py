@@ -12,11 +12,14 @@ machine-speed factor, and the gated timings are scaled by it before
 comparison (every gated metric is a time, so the same factor applies).
 Pass --no-calibrate for raw wall-clock.
 
-Gated by default: the engine benches plus the streamed single-worker p95
+Gated by default: the engine benches, the streamed single-worker p95
 per-request latency (service_stream:t1:p95 — one worker keeps the series
-deterministic on any machine).  Multi-threaded service_batch /
-service_stream throughput is reported but not gated (batch scheduling
-noise is not an engine regression).  Exit codes: 0 ok, 1 regression,
+deterministic on any machine), and the single-thread speculative-pipeline
+series (nearest_pair:t1 — the plain sequential path, so plan-cache and
+heap changes cannot regress 1-core hardware).  Multi-threaded
+service_batch / service_stream throughput and the speculative
+nearest_pair configurations are reported but not gated (batch scheduling
+and speculation overlap depend on core count, not engine quality).  Exit codes: 0 ok, 1 regression,
 2 usage/missing data.
 """
 
@@ -25,7 +28,8 @@ import json
 import sys
 
 GATED_DEFAULT = (
-    "engine_reduce:grid,route_ast_windowed:grid,service_stream:t1:p95@0.5"
+    "engine_reduce:grid,route_ast_windowed:grid,service_stream:t1:p95@0.5,"
+    "nearest_pair:t1@0.2"
 )
 CALIBRATION_SERIES = ("engine_reduce", "linear")
 
@@ -123,7 +127,8 @@ def main():
         print(f"{label} @ n={n}: baseline {b:.4f}s, current "
               f"{c:.4f}s (calibrated), ratio {ratio:.2f} -> {verdict}")
 
-    # Informational: serving throughput/latency, never gated here.
+    # Informational: serving throughput/latency and the speculative
+    # nearest_pair configurations, never gated here.
     for key in sorted(cur):
         if key[0] in ("service_batch", "service_stream"):
             n = max(cur[key])
@@ -135,6 +140,14 @@ def main():
             print(f"info {key[0]}:{key[1]} @ n={n}: "
                   f"{r['seconds']:.4f}s, {r['merges_per_sec']:.0f} "
                   f"merges/s{extra}")
+        elif key[0] == "nearest_pair" and key[1] != "t1":
+            # t1 is the gated series and already printed above.
+            n = max(cur[key])
+            r = cur[key][n]
+            print(f"info {key[0]}:{key[1]} @ n={n}: "
+                  f"{r['seconds']:.4f}s, cache hit rate "
+                  f"{r.get('cache_hit_rate', 0):.2%}, wasted speculation "
+                  f"{r.get('wasted_spec_rate', 0):.2%}")
 
     if compared == 0:
         print("perf_diff: nothing to compare", file=sys.stderr)

@@ -5,11 +5,16 @@
 //
 //   $ ./route_cli INSTANCE [--algo ast|zst|bst|sep] [--bound PS]
 //                 [--mode auto|windowed|exact|soft] [--threads N]
-//                 [--deadline MS] [--svg OUT.svg] [--json OUT.json]
+//                 [--deadline MS] [--speculate K] [--no-plan-cache]
+//                 [--svg OUT.svg] [--json OUT.json]
 //
 // --threads 0 (default) uses the hardware concurrency; multi-merge engine
 // rounds fan out across the pool, and results are bit-identical to
-// --threads 1.  --deadline bounds the route's wall-clock: an expired
+// --threads 1.  --speculate K dispatches the top-K nearest-pair candidates'
+// plan() calls ahead of selection (needs >= 2 threads to engage;
+// bit-identical trees either way) and --no-plan-cache disables the
+// cross-step plan memo speculation lands in; the stats block reports the
+// cache and speculation counters.  --deadline bounds the route's wall-clock: an expired
 // deadline stops the engine at the next merge-round checkpoint and the
 // run exits with status `deadline_exceeded`.  Exit status: 0 when routing
 // and verification succeed, 3 when the request was cancelled or timed
@@ -36,7 +41,8 @@ int usage(const char* argv0) {
               << " INSTANCE [--algo ast|zst|bst|sep] [--bound PS]\n"
                  "          [--mode auto|windowed|exact|soft]"
                  " [--threads N] [--deadline MS]\n"
-                 "          [--svg OUT.svg] [--json OUT.json]\n";
+                 "          [--speculate K] [--no-plan-cache]"
+                 " [--svg OUT.svg] [--json OUT.json]\n";
     return 2;
 }
 
@@ -51,6 +57,8 @@ int main(int argc, char** argv) {
     double bound_ps = 10.0;
     int threads = 0;
     double deadline_ms = 0.0;  // <= 0: none
+    int speculate_k = 0;
+    bool plan_cache = true;
     for (int i = 2; i < argc; ++i) {
         const std::string a = argv[i];
         const auto need = [&](const char* opt) -> const char* {
@@ -70,6 +78,10 @@ int main(int argc, char** argv) {
             threads = std::atoi(need("--threads"));
         else if (a == "--deadline")
             deadline_ms = std::atof(need("--deadline"));
+        else if (a == "--speculate")
+            speculate_k = std::atoi(need("--speculate"));
+        else if (a == "--no-plan-cache")
+            plan_cache = false;
         else if (a == "--svg")
             svg_out = need("--svg");
         else if (a == "--json")
@@ -88,6 +100,8 @@ int main(int argc, char** argv) {
 
     core::routing_request req;
     req.instance = &inst;
+    req.options.engine.speculate_k = speculate_k;
+    req.options.engine.plan_cache = plan_cache;
     const auto id = core::strategy_registry::global().id_of(algo);
     if (!id.has_value()) return usage(argv[0]);
     req.strategy = *id;
@@ -135,6 +149,18 @@ int main(int argc, char** argv) {
               << route.stats.disjoint_merges << " cross-group, "
               << route.stats.root_snakes << " snaked, "
               << route.stats.interior_snakes << " interior snakes)\n";
+    const auto& st = route.stats;
+    const int plan_lookups = st.plan_cache_hits + st.plan_cache_misses;
+    std::cout << "  plan cache      : " << st.plan_cache_hits << " hits / "
+              << st.plan_cache_misses << " misses";
+    if (plan_lookups > 0)
+        std::cout << " ("
+                  << static_cast<int>(100.0 * st.plan_cache_hits /
+                                      plan_lookups)
+                  << "% hit rate)";
+    std::cout << "\n  speculation     : " << st.speculated_plans
+              << " dispatched, " << st.speculative_hits << " consumed, "
+              << st.wasted_speculation << " wasted\n";
 
     eval::verify_options vopt;
     if (algo == "sep" || algo == "zst" || algo == "bst" || mode != "windowed")

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file dary_heap.hpp
+/// Implicit d-ary heap primitives over caller-owned vectors — the engine's
+/// arena-friendly replacement for std::push_heap / std::pop_heap
+/// (ROADMAP "Arena-friendly heaps").
+///
+/// Why d-ary: the selection and radius heaps dominate the engine's
+/// comparison count at large n.  A 4-ary layout halves the tree depth, so
+/// sift-up (the common operation — every push) touches half the levels,
+/// and the four children of a node share one cache line of sel_entry-sized
+/// elements, cutting the comparison constant without changing the
+/// algorithm.
+///
+/// Semantics match the std heap algorithms exactly: the comparator is a
+/// strict weak "less" and the *maximum* under it sits at `h.front()`
+/// (a min-heap is expressed by inverting the comparator, exactly as with
+/// std::push_heap).  Pop order under a *total* order comparator is
+/// therefore identical to a binary heap's — both drain the multiset in
+/// sorted order — which is what lets the engine swap arities while keeping
+/// its seed-exact (key, a, b) tie-break drain bit-identical
+/// (tests/test_dary_heap.cpp asserts the equivalence against
+/// std::push_heap/pop_heap).
+///
+/// The functions deliberately operate on plain std::vector storage owned
+/// by the caller (engine_scratch's reusable buffers): no container
+/// adaptor, no allocation beyond the vector's own growth, so heap storage
+/// is pooled across engine runs like every other scratch buffer.
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace astclk::core {
+
+/// Heap arity used by the merge engine's selection and radius heaps.
+inline constexpr std::size_t kheap_arity = 4;
+
+/// Push `e` onto the d-ary heap in `h` (hole-based sift-up: one move per
+/// level instead of a swap).
+template <class Cmp, std::size_t D = kheap_arity, class T>
+void dary_push(std::vector<T>& h, const T& e) {
+    static_assert(D >= 2, "a heap needs at least two children per node");
+    const Cmp less{};
+    h.push_back(e);
+    std::size_t i = h.size() - 1;
+    T x = std::move(h[i]);
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / D;
+        if (!less(h[parent], x)) break;
+        h[i] = std::move(h[parent]);
+        i = parent;
+    }
+    h[i] = std::move(x);
+}
+
+/// Remove the top element `h.front()` (the comparator-maximum) from the
+/// d-ary heap in `h`.
+template <class Cmp, std::size_t D = kheap_arity, class T>
+void dary_pop(std::vector<T>& h) {
+    static_assert(D >= 2, "a heap needs at least two children per node");
+    const Cmp less{};
+    const std::size_t n = h.size() - 1;
+    T x = std::move(h.back());
+    h.pop_back();
+    if (n == 0) return;
+    std::size_t i = 0;
+    for (;;) {
+        const std::size_t first = i * D + 1;
+        if (first >= n) break;
+        std::size_t best = first;
+        const std::size_t last = std::min(first + D, n);
+        for (std::size_t c = first + 1; c < last; ++c)
+            if (less(h[best], h[c])) best = c;
+        if (!less(x, h[best])) break;
+        h[i] = std::move(h[best]);
+        i = best;
+    }
+    h[i] = std::move(x);
+}
+
+}  // namespace astclk::core

@@ -1,5 +1,7 @@
 #include "core/engine.hpp"
 
+#include "core/dary_heap.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <limits>
@@ -27,15 +29,30 @@ struct engine_scratch::impl {
         std::uint32_t gen;
     };
 
+    /// One speculative plan() job: a pair drained off the heap top, the
+    /// generation stamps taken at dispatch, and the slot its result is
+    /// written into (each job writes only its own slot — the determinism
+    /// rule of executor.hpp).
+    struct spec_job {
+        topo::node_id a, b;  ///< solve orientation: alpha goes to `a`
+        std::uint32_t gen_a, gen_b;
+        std::optional<merge_plan> plan;
+    };
+
     std::unordered_set<std::uint64_t> banned;
     pair_cost_cache cost_cache;
+    plan_cache plans;  ///< generation-stamped cross-step plan memo
     std::vector<topo::node_id> nn_to;  ///< id -> current NN (knull: none)
     std::vector<double> nn_dist;       ///< id -> distance to nn_to
     std::vector<std::uint32_t> gen;    ///< id -> generation counter
     std::vector<std::vector<topo::node_id>> rev;  ///< id -> roots whose NN it is
     std::unordered_set<topo::node_id> starved;    ///< all partners banned
-    std::vector<sel_entry> heap;    ///< selection min-heap (push_heap/pop_heap)
-    std::vector<rad_entry> radius;  ///< influence-radius max-heap
+    std::vector<sel_entry> heap;    ///< selection min-heap (4-ary, dary_heap)
+    std::vector<rad_entry> radius;  ///< influence-radius max-heap (4-ary)
+    // Speculation buffers: the top-k entries drained for peeking and the
+    // plan jobs fanned out per step (reused across steps and runs).
+    std::vector<sel_entry> spec_peek;
+    std::vector<spec_job> spec_jobs;
     // Multi-merge round buffers (slot-indexed NN records, pre-solved plans).
     std::vector<std::pair<topo::node_id, double>> round_nn;
     std::vector<std::optional<merge_plan>> round_plans;
@@ -44,9 +61,12 @@ struct engine_scratch::impl {
     void reset(std::size_t ids) {
         banned.clear();
         cost_cache.clear();
+        plans.clear();
         starved.clear();
         heap.clear();
         radius.clear();
+        spec_peek.clear();
+        spec_jobs.clear();
         nn_to.assign(ids, topo::knull_node);
         nn_dist.assign(ids, 0.0);
         gen.assign(ids, 0);
@@ -80,19 +100,20 @@ struct rad_order {  // max-heap on dist
     }
 };
 
-// std::priority_queue is specified as push_back+push_heap / pop_heap+
-// pop_back over its container, so driving the scratch vectors through the
-// heap algorithms directly is bit-identical to the former priority_queue
-// members — and lets the storage be reused across runs.
+// The heaps are 4-ary implicit heaps over the scratch vectors
+// (dary_heap.hpp).  Pop order under sel_order — a *total* order on
+// (key, a, b) — is the sorted drain of the multiset regardless of arity,
+// so the switch from the former std::push_heap/pop_heap binary layout is
+// bit-identical by construction (and asserted by tests/test_dary_heap.cpp);
+// rad_order ties are resolved arbitrarily, but current_radius only reads
+// the dist *value*, which is the same for every tied top.
 template <class Cmp, class T>
 void heap_push(std::vector<T>& h, const T& e) {
-    h.push_back(e);
-    std::push_heap(h.begin(), h.end(), Cmp{});
+    dary_push<Cmp>(h, e);
 }
 template <class Cmp, class T>
 void heap_pop(std::vector<T>& h) {
-    std::pop_heap(h.begin(), h.end(), Cmp{});
-    h.pop_back();
+    dary_pop<Cmp>(h);
 }
 
 /// Inlined ban predicate: no std::function on the hot path.
@@ -156,7 +177,13 @@ class nearest_reducer {
     nearest_reducer(const merge_solver& solver, const engine_options& opt,
                     topo::clock_tree& t, const std::vector<topo::node_id>& roots,
                     engine_stats& st, engine_scratch::impl& s)
-        : solver_(solver), opt_(opt), t_(t), st_(st), s_(s), idx_(&t, roots) {
+        : solver_(solver), opt_(opt), t_(t), st_(st), s_(s), idx_(&t, roots),
+          // The plan cache (and with it speculation) requires ledger-free
+          // planning: ledger-backed plans read offsets that commits bind,
+          // so a memoised plan could go stale without a generation moving.
+          cache_on_(opt.plan_cache && solver.ledger() == nullptr),
+          spec_on_(cache_on_ && opt.speculate_k > 0 &&
+                   opt.executor != nullptr && opt.executor->concurrency() > 1) {
         s_.reset(t_.size());
         for (topo::node_id r : roots) recompute(r);
     }
@@ -164,11 +191,16 @@ class nearest_reducer {
     topo::node_id run() {
         const bool watched = opt_.cancel.armed();
         while (idx_.size() > 1) {
+            // The checkpoint precedes the speculative dispatch, so a fired
+            // token never fans out another plan batch; the batch below is a
+            // blocking parallel_for, so no plan() task can outlive the step
+            // that dispatched it — cancellation strands nothing.
             if (watched) {
                 if (const route_status rs = opt_.cancel.poll();
                     rs != route_status::ok)
-                    throw route_interrupt(rs, st_);
+                    interrupt(rs);
             }
+            if (spec_on_) speculate();
             const auto popped = pop_cheapest();
             if (!popped.has_value()) {
                 forced_step();
@@ -176,10 +208,11 @@ class nearest_reducer {
             }
             const auto [key, dist, a, b, gen, cached] = *popped;
             (void)gen;
-            auto plan = solver_.plan(t_, a, b);
+            auto plan = obtain_plan(a, b);
             if (!plan.has_value()) {
                 s_.banned.insert(pair_key(a, b));
                 ++st_.rejected_pairs;
+                release_plans(a, b);  // terminal: banned pairs never return
                 recompute(a);
                 recompute(b);
                 continue;
@@ -188,16 +221,25 @@ class nearest_reducer {
                 plan->order_cost > key + kcost_slack) {
                 // Lazy re-key: the true cost (snaking and any deferral bias
                 // included) exceeds the distance bound — another pair may
-                // now be cheaper.
+                // now be cheaper.  The solved plan is memoised here — the
+                // re-keyed re-pop is the only consumer of an inline solve
+                // (committed and banned pairs are released immediately), so
+                // this is the one store the sequential path needs.
                 s_.cost_cache.store(pair_key(a, b), plan->order_cost);
                 heap_push<sel_order>(
                     s_.heap, {plan->order_cost, dist, a, b, gen_at(a), true});
+                if (cache_on_)
+                    s_.plans.store(ordered_pair_key(a, b), gen_at(a),
+                                   gen_at(b), /*speculative=*/false,
+                                   std::move(plan));
                 continue;
             }
             const topo::node_id c = solver_.commit(t_, a, b, *plan);
             note_plan(*plan, dist, st_);
+            release_plans(a, b);  // terminal: merged roots leave the set
             integrate(a, b, c);
         }
+        finalize_stats();
         return idx_.active().front();
     }
 
@@ -213,6 +255,101 @@ class nearest_reducer {
 
     [[nodiscard]] std::uint32_t gen_at(topo::node_id i) const {
         return s_.gen[static_cast<std::size_t>(i)];
+    }
+
+
+    /// Close the speculation books (wasted = dispatched − consumed); runs
+    /// once per reduce, at the normal end and before an interrupt unwinds.
+    void finalize_stats() {
+        st_.wasted_speculation = st_.speculated_plans - st_.speculative_hits;
+    }
+
+    [[noreturn]] void interrupt(route_status rs) {
+        finalize_stats();
+        throw route_interrupt(rs, st_);
+    }
+
+    /// Drop both orientations of a pair from the plan memo — called at the
+    /// pair's terminal event (commit or ban), after which it can never be
+    /// proposed again.  Keeps the memo's live population proportional to
+    /// the speculation in flight (wasted speculative entries for still-
+    /// active pairs linger until their own terminal event or run end)
+    /// rather than to the total merge count.
+    void release_plans(topo::node_id a, topo::node_id b) {
+        if (!cache_on_) return;
+        s_.plans.erase(ordered_pair_key(a, b));
+        s_.plans.erase(ordered_pair_key(b, a));
+    }
+
+    /// The plan for (a, b): served from the generation-stamped memo when
+    /// the stamps still match (speculative results and re-keyed survivors),
+    /// solved inline otherwise.  Inline solves are *not* stored here — a
+    /// popped pair either commits, gets banned (both terminal) or re-keys,
+    /// and only the re-key path can consult the memo again, so run() stores
+    /// exactly there and the hot loop skips a store+erase round trip per
+    /// merge.  Bit-identical to a direct plan() call: ledger-free plans
+    /// depend only on the two subtrees, which are immutable while both
+    /// roots are active, and stale stamps fall back to the inline solve.
+    std::optional<merge_plan> obtain_plan(topo::node_id a, topo::node_id b) {
+        if (!cache_on_) return solver_.plan(t_, a, b);
+        const std::uint64_t key = ordered_pair_key(a, b);
+        if (plan_cache::entry* e = s_.plans.find(key, gen_at(a), gen_at(b))) {
+            ++st_.plan_cache_hits;
+            if (e->speculative && !e->consumed) ++st_.speculative_hits;
+            e->consumed = true;
+            return e->plan;  // copied: a re-keyed pair consults it twice
+        }
+        ++st_.plan_cache_misses;
+        return solver_.plan(t_, a, b);
+    }
+
+    /// Speculative top-k planning: drain the k cheapest *live* entries off
+    /// the selection heap (an exact peek — stale entries met on the way
+    /// are dropped, which selection would do anyway), push them straight
+    /// back, and fan the plan() calls of every distinct pair that lacks a
+    /// live memo entry out over the executor.  The heap's multiset of live
+    /// entries is untouched and each job writes only its own slot, so the
+    /// subsequent pops — and therefore trees, stats and tie-breaks — are
+    /// bit-identical to the sequential engine; the only effect is that the
+    /// pops' obtain_plan() calls hit the memo instead of solving inline.
+    void speculate() {
+        auto& peek = s_.spec_peek;
+        auto& jobs = s_.spec_jobs;
+        peek.clear();
+        jobs.clear();
+        const auto k = static_cast<std::size_t>(opt_.speculate_k);
+        while (peek.size() < k && !s_.heap.empty()) {
+            const sel_entry e = s_.heap.front();
+            heap_pop<sel_order>(s_.heap);
+            if (e.gen != gen_at(e.a)) continue;  // stale: drop for good
+            peek.push_back(e);
+        }
+        for (const sel_entry& e : peek) heap_push<sel_order>(s_.heap, e);
+        for (const sel_entry& e : peek) {
+            // Jobs are keyed and solved in the entry's own (a, b)
+            // orientation — exactly the call the pop would make — because
+            // plans are orientation-sensitive (alpha goes to the first
+            // root); when both orientations of one pair are live, each
+            // gets its own entry.
+            const std::uint64_t key = ordered_pair_key(e.a, e.b);
+            if (s_.plans.find(key, gen_at(e.a), gen_at(e.b)) != nullptr)
+                continue;
+            bool queued = false;
+            for (const auto& j : jobs)
+                queued = queued || ordered_pair_key(j.a, j.b) == key;
+            if (queued) continue;
+            jobs.push_back({e.a, e.b, gen_at(e.a), gen_at(e.b),
+                            std::nullopt});
+        }
+        if (jobs.empty()) return;
+        run_indexed(opt_.executor, jobs.size(), [&](std::size_t i) {
+            jobs[i].plan = solver_.plan(t_, jobs[i].a, jobs[i].b);
+        });
+        for (auto& j : jobs) {
+            s_.plans.store(ordered_pair_key(j.a, j.b), j.gen_a, j.gen_b,
+                           /*speculative=*/true, std::move(j.plan));
+            ++st_.speculated_plans;
+        }
     }
 
     /// Point i's nearest-neighbour record at (j, d); maintains the reverse
@@ -390,6 +527,8 @@ class nearest_reducer {
     engine_stats& st_;
     engine_scratch::impl& s_;
     Index idx_;
+    const bool cache_on_;  ///< plan memo enabled (knob on, ledger-free)
+    const bool spec_on_;   ///< top-k dispatch enabled (memo + wide executor)
 };
 
 template <class Index>

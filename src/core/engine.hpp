@@ -24,12 +24,24 @@
 ///   * the cheapest pair is popped from a global lazy-deletion min-heap
 ///     keyed by the distance lower bound (re-keyed with cached true plan
 ///     cost); per-node generation counters invalidate stale entries instead
-///     of rescanning the active set;
+///     of rescanning the active set; both the selection and radius heaps
+///     are 4-ary implicit heaps over reusable scratch vectors
+///     (dary_heap.hpp) — same pop order as the former binary heaps, half
+///     the sift depth;
 ///   * after each commit only the affected neighbourhoods are touched:
 ///     roots whose nearest neighbour was one of the merged pair (tracked by
 ///     reverse-NN lists) are recomputed, and the new root is folded into
 ///     roots within the current nearest-neighbour influence radius — no
 ///     global recompute, in the forced-merge path included.
+///
+/// The nearest-pair reduction additionally supports a *speculative
+/// pipeline* (DESIGN.md §3): each selection step drains the top-k live
+/// heap candidates, fans their plan() calls out over the executor before
+/// the pop, and memoises the results in a generation-stamped plan cache
+/// (merge_solver.hpp) so the subsequent pops commit from cached plans.
+/// Results are bit-identical to the sequential engine by construction —
+/// speculation only ever pre-computes plans the inline path would compute
+/// itself, and a stale stamp falls back to an inline solve.
 ///
 /// Pairs whose merge is infeasible (irreconcilable multi-group conflicts,
 /// Ch. V-E) are banned and re-proposed only if nothing else remains, in
@@ -73,6 +85,27 @@ struct engine_options {
     /// earlier commits of the same round bind).  The commit step is always
     /// sequential, so trees are bit-identical to single-threaded runs.
     task_executor* executor = nullptr;
+    /// Speculative top-k planning for the nearest-pair order: each
+    /// selection step peeks the k cheapest live heap candidates and fans
+    /// their plan() calls out over `executor` before the pop, keyed by
+    /// (pair, gen[a], gen[b]) in the plan cache; pops then commit from the
+    /// memoised plans, falling back to an inline solve on a stale stamp.
+    /// 0 disables speculation.  Only active with an executor of
+    /// concurrency > 1, a ledger-free solver (ledger-backed plans read
+    /// offsets that commits bind) and `plan_cache` on; trees and the
+    /// merge/rejection/forced statistics are bit-identical either way —
+    /// the knob moves wall-clock plus the cache/speculation counters
+    /// below, nothing else.
+    int speculate_k = 0;
+    /// Cross-step plan cache: memoise solved plans stamped with both
+    /// roots' selection generations, so re-keyed survivors commit from the
+    /// memo instead of being re-solved (and speculative results have a
+    /// place to land).  Entries are dropped at their pair's commit or ban,
+    /// so the memo tracks in-flight work, not total merges.  Disabled
+    /// internally for ledger-backed solvers.  Trees and merge statistics
+    /// are bit-identical on or off; hit/miss counters land in
+    /// engine_stats.
+    bool plan_cache = true;
     /// Cooperative cancellation (deadline and/or cancel flag): polled at
     /// merge-round granularity — once per nearest-pair selection step and
     /// once per multi-merge round — so a fired token interrupts the reduce
@@ -94,6 +127,13 @@ struct engine_stats {
     int forced_merges = 0;        ///< minimax fallbacks (should stay 0)
     double worst_violation = 0.0; ///< residual skew excess of forced merges
     int rounds = 0;               ///< multi-merge rounds (if enabled)
+    // Plan-cache / speculation accounting (nearest-pair order only; all
+    // zero when the cache is off or the solver carries a ledger).
+    int plan_cache_hits = 0;      ///< selections served from the memo
+    int plan_cache_misses = 0;    ///< selections that solved inline
+    int speculated_plans = 0;     ///< plans dispatched ahead of selection
+    int speculative_hits = 0;     ///< speculated plans later consumed
+    int wasted_speculation = 0;   ///< speculated plans never consumed
 };
 
 /// Thrown by an engine checkpoint that observes a fired cancel token; the

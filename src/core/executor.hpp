@@ -2,7 +2,7 @@
 
 /// \file executor.hpp
 /// Minimal task-execution and cooperative-cancellation contracts shared by
-/// the merge engine and the routing service (DESIGN.md §5-§6).
+/// the merge engine and the routing service (DESIGN.md §6-§7).
 ///
 /// The engine's multi-merge rounds and the service's batched requests both
 /// need "run these n independent jobs, possibly concurrently, and wait".
@@ -21,9 +21,10 @@
 ///
 /// Determinism note: callers must make results independent of execution
 /// order (each job writes its own slot).  Everything in this codebase that
-/// fans out — NN queries and plan() calls per multi-merge round, requests
-/// per batch — obeys that rule, which is why threaded runs are
-/// bit-identical to sequential ones.
+/// fans out — NN queries and plan() calls per multi-merge round, the
+/// nearest-pair engine's speculative top-k plan() batches, requests per
+/// batch — obeys that rule, which is why threaded runs are bit-identical
+/// to sequential ones.
 
 #include <atomic>
 #include <chrono>
@@ -34,7 +35,7 @@
 
 namespace astclk::core {
 
-/// Terminal disposition of a route request (DESIGN.md §6).  Replaces bare
+/// Terminal disposition of a route request (DESIGN.md §7).  Replaces bare
 /// error-string signaling: callers branch on the kind, `status_message`
 /// (route_result) carries the human detail.
 enum class route_status {

@@ -1,7 +1,7 @@
 #pragma once
 
 /// \file route_context.hpp
-/// Shared per-run state for the routing service (DESIGN.md §4): the
+/// Shared per-run state for the routing service (DESIGN.md §5): the
 /// expensive pieces every route needs but no route should rebuild —
 ///
 ///  * the configured delay model (the context's default; requests can
@@ -9,8 +9,9 @@
 ///  * generated instances (src/gen synthesis is deterministic but not
 ///    free; batches routing the same benchmark under many specs share one
 ///    copy via the keyed cache),
-///  * engine scratch buffers (selection heaps, NN records — reused across
-///    requests instead of reallocated per reduce run).
+///  * engine scratch buffers (selection heaps, NN records, the plan
+///    cache and speculation job slots — reused across requests instead of
+///    reallocated per reduce run).
 ///
 /// A routing_context is safe to share across the service's worker threads:
 /// the instance cache and the scratch pool are mutex-guarded, cached

@@ -2,7 +2,7 @@
 
 /// \file route_service.hpp
 /// Streaming, multi-threaded front-end over the strategy registry
-/// (DESIGN.md §5-§6) — the serving spine for many concurrent route
+/// (DESIGN.md §6-§7) — the serving spine for many concurrent route
 /// requests.
 ///
 /// A route_service owns

@@ -19,7 +19,7 @@
 /// All four are thin wrappers over the routing-service layer (strategy.hpp:
 /// `routing_request` → `route()` dispatch through the strategy registry);
 /// batch execution and state sharing live in route_service.hpp /
-/// route_context.hpp (DESIGN.md §4-§5).
+/// route_context.hpp (DESIGN.md §5-§6).
 
 #include "core/embedder.hpp"
 #include "core/engine.hpp"
@@ -55,7 +55,7 @@ struct route_result {
     [[nodiscard]] bool ok() const { return status == route_status::ok; }
 };
 
-/// Strategy for AST-DME (see DESIGN.md §3):
+/// Strategy for AST-DME (see DESIGN.md §4):
 ///  * `windowed` — the paper's literal algorithm (Fig. 6 cases): per-merge
 ///    feasibility windows, interior snaking for conflicts (Eqs. 5.1-5.3),
 ///    infeasible pairs rejected.  Exploits inter-group freedom merge by
@@ -79,9 +79,12 @@ enum class ast_mode {
 struct router_options {
     rc::delay_model model = rc::delay_model::elmore();
     /// Engine knobs, forwarded to every reduce run of the route: merge
-    /// order, true-cost re-keying, and the nearest-neighbour backend
+    /// order, true-cost re-keying, the nearest-neighbour backend
     /// (`engine.backend` — grid by default, `nn_backend::linear` for the
-    /// exact-scan verification backend; both produce identical trees).
+    /// exact-scan verification backend) and the speculative pipeline
+    /// (`engine.speculate_k`, `engine.plan_cache` — top-k plan() overlap
+    /// and the cross-step plan memo, DESIGN.md §3).  Every configuration
+    /// produces identical trees; the knobs move wall-clock only.
     engine_options engine;
     /// AST only: ordering bias (layout units) deferring merges that would
     /// bind two inter-group offset components (see merge_solver).

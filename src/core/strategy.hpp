@@ -2,7 +2,7 @@
 
 /// \file strategy.hpp
 /// The unified routing-request interface and strategy registry
-/// (DESIGN.md §4).
+/// (DESIGN.md §5).
 ///
 /// The four routers — ZST-DME, EXT-BST, AST-DME, separate-stitch — are
 /// registered *strategies* behind one call:

@@ -1,0 +1,202 @@
+// Speculative nearest-pair pipeline tests (DESIGN.md §3): with
+// speculate_k > 0 the engine fans the top-k candidates' plan() calls out
+// over the executor ahead of selection and commits from the
+// generation-stamped plan cache — and the resulting trees, wirelengths,
+// rejections and forced-merge stats must be bit-identical to the plain
+// sequential engine for every configuration.  This file asserts that
+// identity across speculate_k {0, 1, 8} x threads {1, 2, hw} x both NN
+// backends on the paper's r1–r5 benchmarks (full tree comparison on the
+// small ones, full stats + tree on the large ones at a reduced config
+// matrix to keep runtimes sane), and that the speculation/cache counters
+// prove the pipeline actually engaged — the way overlap gains are
+// asserted on single-core CI hardware.
+
+#include "core/route_service.hpp"
+#include "gen/grouping.hpp"
+#include "gen/instance_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace astclk::core {
+namespace {
+
+topo::instance paper_instance(const char* name, int groups) {
+    gen::instance_spec spec = gen::paper_spec(name);
+    auto inst = gen::generate(spec);
+    gen::apply_intermingled_groups(inst, groups, spec.seed + 1);
+    return inst;
+}
+
+void expect_same_tree(const route_result& got, const route_result& ref,
+                      const std::string& what) {
+    ASSERT_TRUE(got.ok()) << what << ": " << got.status_message;
+    ASSERT_TRUE(ref.ok()) << what << ": " << ref.status_message;
+    EXPECT_EQ(got.wirelength, ref.wirelength) << what;
+    EXPECT_EQ(got.stats.merges, ref.stats.merges) << what;
+    EXPECT_EQ(got.stats.snake_wire, ref.stats.snake_wire) << what;
+    EXPECT_EQ(got.stats.rejected_pairs, ref.stats.rejected_pairs) << what;
+    EXPECT_EQ(got.stats.forced_merges, ref.stats.forced_merges) << what;
+    EXPECT_EQ(got.stats.worst_violation, ref.stats.worst_violation) << what;
+    ASSERT_EQ(got.tree.size(), ref.tree.size()) << what;
+    for (std::size_t i = 0; i < got.tree.size(); ++i) {
+        const auto& gn = got.tree.node(static_cast<topo::node_id>(i));
+        const auto& rn = ref.tree.node(static_cast<topo::node_id>(i));
+        ASSERT_EQ(gn.left, rn.left) << what << " node " << i;
+        ASSERT_EQ(gn.right, rn.right) << what << " node " << i;
+        ASSERT_EQ(gn.arc, rn.arc) << what << " node " << i;
+        ASSERT_EQ(gn.edge_left, rn.edge_left) << what << " node " << i;
+        ASSERT_EQ(gn.edge_right, rn.edge_right) << what << " node " << i;
+    }
+}
+
+routing_request windowed_request(const topo::instance& inst, nn_backend be,
+                                 int speculate_k, bool plan_cache = true) {
+    routing_request r;
+    r.instance = &inst;
+    r.strategy = strategy_id::ast_dme;
+    r.mode = ast_mode::windowed;  // ledger-free: the cache-eligible solver
+    r.options.engine.backend = be;
+    r.options.engine.speculate_k = speculate_k;
+    r.options.engine.plan_cache = plan_cache;
+    return r;
+}
+
+TEST(SpeculativeEngine, BitIdentityMatrixOnSmallPaperBenchmarks) {
+    // r1 and r2, full matrix: speculate_k {0, 1, 8} x threads {1, 2, hw}
+    // x both backends, every run compared tree-for-tree against the plain
+    // sequential engine (k = 0, no executor, cache on — the default path,
+    // itself asserted identical to the cache-off engine below).
+    const std::vector<int> counts{
+        1, 2,
+        static_cast<int>(std::max(2u, std::thread::hardware_concurrency()))};
+    for (const char* name : {"r1", "r2"}) {
+        const auto inst = paper_instance(name, 6);
+        for (const nn_backend be : {nn_backend::grid, nn_backend::linear}) {
+            const auto ref = route(windowed_request(inst, be, 0));
+            // The plan cache alone (no speculation) must also be a no-op
+            // on results — including with the memo disabled outright.
+            expect_same_tree(route(windowed_request(inst, be, 0, false)),
+                             ref, std::string(name) + " cache-off");
+            for (const int threads : counts) {
+                service_options sopt;
+                sopt.threads = threads;
+                route_service svc(sopt);
+                for (const int k : {0, 1, 8}) {
+                    auto req = windowed_request(inst, be, k);
+                    const auto got = svc.route_batch({req});
+                    expect_same_tree(
+                        got[0], ref,
+                        std::string(name) + " k=" + std::to_string(k) +
+                            " threads=" + std::to_string(threads) +
+                            (be == nn_backend::grid ? " grid" : " linear"));
+                }
+            }
+        }
+    }
+}
+
+TEST(SpeculativeEngine, BitIdentityOnLargePaperBenchmarks) {
+    // r3 and r4 at a reduced matrix: both backends, threads 2, k {0, 8} —
+    // large enough for rejections and deep heaps, small enough for CI.
+    for (const char* name : {"r3", "r4"}) {
+        const auto inst = paper_instance(name, 8);
+        for (const nn_backend be : {nn_backend::grid, nn_backend::linear}) {
+            const auto ref = route(windowed_request(inst, be, 0));
+            EXPECT_GT(ref.stats.rejected_pairs, 0)
+                << name << ": want a workload that exercises bans";
+            service_options sopt;
+            sopt.threads = 2;
+            route_service svc(sopt);
+            auto req = windowed_request(inst, be, 8);
+            expect_same_tree(
+                svc.route_batch({req})[0], ref,
+                std::string(name) +
+                    (be == nn_backend::grid ? " grid" : " linear"));
+        }
+    }
+}
+
+TEST(SpeculativeEngine, R5CountersProveThePipelineEngaged) {
+    // The paper's headline difficult instance: speculation at k = 8 on a
+    // 2-worker pool must consume speculated plans and hit the cache while
+    // staying bit-identical — the single-core-CI proxy for overlap gains.
+    const auto inst = paper_instance("r5", 10);
+    const auto ref = route(windowed_request(inst, nn_backend::grid, 0));
+    EXPECT_EQ(ref.stats.speculated_plans, 0);
+    // The sequential engine already reuses re-keyed survivors' plans.
+    EXPECT_GT(ref.stats.plan_cache_hits, 0);
+    EXPECT_GT(ref.stats.plan_cache_misses, 0);
+
+    service_options sopt;
+    sopt.threads = 2;
+    route_service svc(sopt);
+    auto req = windowed_request(inst, nn_backend::grid, 8);
+    const auto got = svc.route_batch({req})[0];
+    expect_same_tree(got, ref, "r5 speculative");
+    EXPECT_GT(got.stats.speculated_plans, 0);
+    EXPECT_GT(got.stats.speculative_hits, 0);   // speculative consumption
+    EXPECT_GT(got.stats.plan_cache_hits, 0);    // cache hit rate > 0
+    EXPECT_EQ(got.stats.wasted_speculation,
+              got.stats.speculated_plans - got.stats.speculative_hits);
+    // Speculation replaces inline solves one for one: total plans looked
+    // up is unchanged, only where they were solved moves.
+    EXPECT_EQ(got.stats.plan_cache_hits + got.stats.plan_cache_misses,
+              ref.stats.plan_cache_hits + ref.stats.plan_cache_misses);
+}
+
+TEST(SpeculativeEngine, CountersStayZeroWhenThePipelineCannotEngage) {
+    const auto inst = paper_instance("r1", 6);
+    // No executor: the knob alone must not dispatch anything.
+    const auto solo = route(windowed_request(inst, nn_backend::grid, 16));
+    EXPECT_EQ(solo.stats.speculated_plans, 0);
+    EXPECT_EQ(solo.stats.wasted_speculation, 0);
+    // Cache off: no speculation (results land in the memo) and no counters.
+    service_options sopt;
+    sopt.threads = 2;
+    route_service svc(sopt);
+    auto req = windowed_request(inst, nn_backend::grid, 16, false);
+    const auto got = svc.route_batch({req})[0];
+    EXPECT_EQ(got.stats.speculated_plans, 0);
+    EXPECT_EQ(got.stats.plan_cache_hits, 0);
+    EXPECT_EQ(got.stats.plan_cache_misses, 0);
+    // Ledger-backed solvers disable the memo internally: plans read
+    // offsets that commits bind, so nothing may be reused across steps.
+    routing_request soft;
+    soft.instance = &inst;
+    soft.strategy = strategy_id::ast_dme;
+    soft.mode = ast_mode::soft_ledger;
+    soft.options.engine.speculate_k = 16;
+    const auto lg = svc.route_batch({soft})[0];
+    ASSERT_TRUE(lg.ok()) << lg.status_message;
+    EXPECT_EQ(lg.stats.speculated_plans, 0);
+    EXPECT_EQ(lg.stats.plan_cache_hits, 0);
+    EXPECT_EQ(lg.stats.plan_cache_misses, 0);
+}
+
+TEST(SpeculativeEngine, ZstAndBstStrategiesAreIdenticalUnderSpeculation) {
+    // The pipeline is strategy-agnostic: the single-group routers ride the
+    // same reducer, so they must be bit-identical under speculation too.
+    const auto inst = paper_instance("r2", 6);
+    for (const strategy_id s : {strategy_id::zst_dme, strategy_id::ext_bst,
+                                strategy_id::separate_stitch}) {
+        routing_request base;
+        base.instance = &inst;
+        base.strategy = s;
+        if (s == strategy_id::ext_bst) base.spec = skew_spec::uniform(10e-12);
+        const auto ref = route(base);
+        service_options sopt;
+        sopt.threads = 2;
+        route_service svc(sopt);
+        auto req = base;
+        req.options.engine.speculate_k = 8;
+        expect_same_tree(svc.route_batch({req})[0], ref,
+                         strategy_registry::global().name_of(s));
+    }
+}
+
+}  // namespace
+}  // namespace astclk::core
