@@ -1,6 +1,9 @@
 // Merge-engine scaling benchmark: wall-clock of the bottom-up reduce and
 // of full AST-DME routes across instance sizes, for both nearest-neighbour
-// backends (grid vs the linear verification scan) — plus aggregate
+// backends (grid vs the linear verification scan) — plus the sharded
+// die-region reduction on r5 and the large family (shard_reduce:
+// monolithic vs auto shards at 1 thread and a hardware-wide pool, with
+// the sharded-vs-monolithic wirelength delta in the JSON), aggregate
 // throughput of a route_service batch (table2-style requests) at 1 worker
 // thread vs 4, and per-request latency percentiles of the same requests
 // streamed through the async submit API (service_stream).
@@ -106,6 +109,40 @@ bench::perf_record bench_nearest_pair(const topo::instance& inst, int threads,
                 ? static_cast<double>(st.wasted_speculation) /
                       st.speculated_plans
                 : 0.0;
+    }
+    rec.merges_per_sec =
+        rec.seconds > 0.0 ? static_cast<double>(rec.merges) / rec.seconds : 0.0;
+    return rec;
+}
+
+/// The sharded die-region reduction (DESIGN.md §4): one full zero-skew
+/// route (leaves + reduce + embed, identical overhead on every row) at a
+/// given shard configuration and worker-thread count, grid backend.
+/// Backend tags: "mono" = monolithic (shards = 1), "t1" = auto shards on
+/// one thread — the gated series: single-threaded, the speedup is pure
+/// partition quality, no scheduling luck — and "thw" = auto shards fanned
+/// over a hardware-wide pool (info).  The per-row wirelength records the
+/// sharded-vs-monolithic quality delta alongside the wall-clocks.
+bench::perf_record bench_shard_reduce(const topo::instance& inst, int shards,
+                                      int threads, int reps) {
+    core::router_options opt;
+    opt.engine.backend = core::nn_backend::grid;
+    opt.engine.shards = shards;
+    std::unique_ptr<core::thread_pool> pool;
+    if (threads > 1) {
+        pool = std::make_unique<core::thread_pool>(threads);
+        opt.engine.executor = pool.get();
+    }
+    bench::perf_record rec;
+    rec.bench = "shard_reduce";
+    rec.backend = shards == 1 ? "mono" : (threads > 1 ? "thw" : "t1");
+    rec.n = static_cast<int>(inst.sinks.size());
+    rec.seconds = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < reps; ++rep) {
+        const auto r = core::route_zst_dme(inst, opt);
+        rec.seconds = std::min(rec.seconds, r.cpu_seconds);
+        rec.merges = r.stats.merges;
+        rec.wirelength = r.wirelength;
     }
     rec.merges_per_sec =
         rec.seconds > 0.0 ? static_cast<double>(rec.merges) / rec.seconds : 0.0;
@@ -341,6 +378,64 @@ int main(int argc, char** argv) {
                     records.push_back(rec);
                 }
             }
+        }
+    }
+
+    // Sharded die-region reduction: r5-sized and large-family instances,
+    // monolithic vs auto shards at 1 thread (the gated series — the
+    // speedup is pure partition quality) and at a hardware-wide pool.
+    // The quick run keeps the r5 size only, so the committed full
+    // baseline always shares an n with the CI smoke run; the acceptance
+    // series is the full run's n=50000 pair (l3), where the single-thread
+    // sharded route must beat the monolithic grid reduce >= 2x.
+    {
+        struct shard_case {
+            const char* family;  // "r" = paper_spec, "l" = large_spec
+            const char* name;
+        };
+        std::vector<shard_case> cases{{"r", "r5"}};
+        if (!quick) {
+            cases.push_back({"l", "l2"});   // n = 20000
+            cases.push_back({"l", "l3"});   // n = 50000
+        }
+        const int threads_hw = static_cast<int>(
+            std::max(2u, std::thread::hardware_concurrency()));
+        for (const auto& c : cases) {
+            const gen::instance_spec spec = c.family[0] == 'r'
+                                                ? gen::paper_spec(c.name)
+                                                : gen::large_spec(c.name);
+            const auto inst = gen::generate(spec);
+            const int reps = inst.sinks.size() >= 20000 ? 2 : 3;
+            const auto mono = bench_shard_reduce(inst, 1, 1, reps);
+            const auto t1 = bench_shard_reduce(inst, 0, 1, reps);
+            const auto thw = bench_shard_reduce(inst, 0, threads_hw, reps);
+            const double speedup =
+                t1.seconds > 0.0 ? mono.seconds / t1.seconds : 0.0;
+            t.add_row({t1.bench, std::to_string(t1.n), t1.backend,
+                       io::table::fixed(t1.seconds, 4),
+                       io::table::integer(t1.merges_per_sec),
+                       io::table::fixed(speedup, 2) + "x"});
+            t.add_row({thw.bench, std::to_string(thw.n), thw.backend,
+                       io::table::fixed(thw.seconds, 4),
+                       io::table::integer(thw.merges_per_sec),
+                       mono.seconds > 0.0 && thw.seconds > 0.0
+                           ? io::table::fixed(mono.seconds / thw.seconds, 2) +
+                                 "x"
+                           : "-"});
+            t.add_row({mono.bench, std::to_string(mono.n), mono.backend,
+                       io::table::fixed(mono.seconds, 4),
+                       io::table::integer(mono.merges_per_sec), "1.00x"});
+            std::cout << "shard_reduce n=" << t1.n
+                      << " wirelength sharded/mono: "
+                      << io::table::fixed(
+                             mono.wirelength > 0.0
+                                 ? t1.wirelength / mono.wirelength
+                                 : 0.0,
+                             4)
+                      << "\n";
+            records.push_back(t1);
+            records.push_back(thw);
+            records.push_back(mono);
         }
     }
 

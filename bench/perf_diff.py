@@ -14,13 +14,16 @@ Pass --no-calibrate for raw wall-clock.
 
 Gated by default: the engine benches, the streamed single-worker p95
 per-request latency (service_stream:t1:p95 — one worker keeps the series
-deterministic on any machine), and the single-thread speculative-pipeline
+deterministic on any machine), the single-thread speculative-pipeline
 series (nearest_pair:t1 — the plain sequential path, so plan-cache and
-heap changes cannot regress 1-core hardware).  Multi-threaded
-service_batch / service_stream throughput and the speculative
-nearest_pair configurations are reported but not gated (batch scheduling
-and speculation overlap depend on core count, not engine quality).  Exit codes: 0 ok, 1 regression,
-2 usage/missing data.
+heap changes cannot regress 1-core hardware), and the single-thread
+sharded reduction (shard_reduce:t1 — auto shards on one thread, so the
+gate measures partition quality, not scheduling).  Multi-threaded
+service_batch / service_stream throughput, the speculative nearest_pair
+configurations and the fanned shard_reduce:thw series are reported but
+not gated (batch scheduling, speculation overlap and shard fan-out
+depend on core count, not engine quality).  Exit codes: 0 ok,
+1 regression, 2 usage/missing data.
 """
 
 import argparse
@@ -29,7 +32,7 @@ import sys
 
 GATED_DEFAULT = (
     "engine_reduce:grid,route_ast_windowed:grid,service_stream:t1:p95@0.5,"
-    "nearest_pair:t1@0.2"
+    "nearest_pair:t1@0.2,shard_reduce:t1@0.2"
 )
 CALIBRATION_SERIES = ("engine_reduce", "linear")
 
@@ -148,6 +151,23 @@ def main():
                   f"{r['seconds']:.4f}s, cache hit rate "
                   f"{r.get('cache_hit_rate', 0):.2%}, wasted speculation "
                   f"{r.get('wasted_spec_rate', 0):.2%}")
+        elif key[0] == "shard_reduce" and key[1] != "t1":
+            # mono / thw ride as info; the sharded-vs-monolithic speedup
+            # and wirelength delta at the largest n are the headline.
+            n = max(cur[key])
+            r = cur[key][n]
+            extra = ""
+            t1 = cur.get(("shard_reduce", "t1"), {}).get(n)
+            if key[1] == "mono" and t1 is not None:
+                if t1["seconds"] > 0:
+                    extra += (f", sharded t1 speedup "
+                              f"{r['seconds'] / t1['seconds']:.2f}x")
+                if r.get("wirelength", 0) > 0:
+                    extra += (f", wirelength sharded/mono "
+                              f"{t1.get('wirelength', 0) / r['wirelength']:.4f}")
+            print(f"info {key[0]}:{key[1]} @ n={n}: "
+                  f"{r['seconds']:.4f}s, {r['merges_per_sec']:.0f} "
+                  f"merges/s{extra}")
 
     if compared == 0:
         print("perf_diff: nothing to compare", file=sys.stderr)

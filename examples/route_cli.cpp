@@ -6,7 +6,7 @@
 //   $ ./route_cli INSTANCE [--algo ast|zst|bst|sep] [--bound PS]
 //                 [--mode auto|windowed|exact|soft] [--threads N]
 //                 [--deadline MS] [--speculate K] [--no-plan-cache]
-//                 [--svg OUT.svg] [--json OUT.json]
+//                 [--shards K|auto] [--svg OUT.svg] [--json OUT.json]
 //
 // --threads 0 (default) uses the hardware concurrency; multi-merge engine
 // rounds fan out across the pool, and results are bit-identical to
@@ -14,7 +14,11 @@
 // plan() calls ahead of selection (needs >= 2 threads to engage;
 // bit-identical trees either way) and --no-plan-cache disables the
 // cross-step plan memo speculation lands in; the stats block reports the
-// cache and speculation counters.  --deadline bounds the route's wall-clock: an expired
+// cache and speculation counters.  --shards K routes through the sharded
+// reduction (partition + parallel sub-reduce + associative stitch;
+// "auto" or 0 picks a count from the instance size and the thread pool,
+// 1 — the default — keeps the monolithic engine; ledger-backed AST modes
+// always reduce monolithically).  --deadline bounds the route's wall-clock: an expired
 // deadline stops the engine at the next merge-round checkpoint and the
 // run exits with status `deadline_exceeded`.  Exit status: 0 when routing
 // and verification succeed, 3 when the request was cancelled or timed
@@ -28,6 +32,7 @@
 #include "io/tree_json.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -42,7 +47,8 @@ int usage(const char* argv0) {
                  "          [--mode auto|windowed|exact|soft]"
                  " [--threads N] [--deadline MS]\n"
                  "          [--speculate K] [--no-plan-cache]"
-                 " [--svg OUT.svg] [--json OUT.json]\n";
+                 " [--shards K|auto]\n"
+                 "          [--svg OUT.svg] [--json OUT.json]\n";
     return 2;
 }
 
@@ -59,6 +65,7 @@ int main(int argc, char** argv) {
     double deadline_ms = 0.0;  // <= 0: none
     int speculate_k = 0;
     bool plan_cache = true;
+    int shards = 1;
     for (int i = 2; i < argc; ++i) {
         const std::string a = argv[i];
         const auto need = [&](const char* opt) -> const char* {
@@ -82,6 +89,23 @@ int main(int argc, char** argv) {
             speculate_k = std::atoi(need("--speculate"));
         else if (a == "--no-plan-cache")
             plan_cache = false;
+        else if (a == "--shards") {
+            // Strict parse: a typo must not silently select a different
+            // routing mode ("auto"/0 = heuristic, K >= 1 = fixed count).
+            const std::string v = need("--shards");
+            if (v == "auto") {
+                shards = 0;
+            } else {
+                char* end = nullptr;
+                const long parsed = std::strtol(v.c_str(), &end, 10);
+                if (end == v.c_str() || *end != '\0' || parsed < 0) {
+                    std::cerr << "--shards wants a count >= 1, 0 or "
+                                 "\"auto\"\n";
+                    return usage(argv[0]);
+                }
+                shards = static_cast<int>(parsed);
+            }
+        }
         else if (a == "--svg")
             svg_out = need("--svg");
         else if (a == "--json")
@@ -102,6 +126,7 @@ int main(int argc, char** argv) {
     req.instance = &inst;
     req.options.engine.speculate_k = speculate_k;
     req.options.engine.plan_cache = plan_cache;
+    req.options.engine.shards = shards;
     const auto id = core::strategy_registry::global().id_of(algo);
     if (!id.has_value()) return usage(argv[0]);
     req.strategy = *id;
@@ -161,6 +186,9 @@ int main(int argc, char** argv) {
     std::cout << "\n  speculation     : " << st.speculated_plans
               << " dispatched, " << st.speculative_hits << " consumed, "
               << st.wasted_speculation << " wasted\n";
+    if (st.shards > 0)
+        std::cout << "  shards          : " << st.shards
+                  << " sub-reductions\n";
 
     eval::verify_options vopt;
     if (algo == "sep" || algo == "zst" || algo == "bst" || mode != "windowed")

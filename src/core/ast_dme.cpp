@@ -11,15 +11,16 @@ namespace {
 route_result run_once(const topo::instance& inst, const skew_spec& spec,
                       const router_options& opt, consistency_mode mode,
                       routing_context& ctx) {
-    topo::clock_tree t;
-    auto roots = detail::make_leaves(inst, t, /*collapse_groups=*/false);
     offset_ledger ledger(inst.num_groups);
     merge_solver solver(opt.model, spec,
                         mode == consistency_mode::windowed ? nullptr : &ledger,
                         mode);
     solver.set_bind_deferral_bias(opt.bind_deferral_bias);
-    return detail::finish_route(inst, solver, opt.engine, std::move(t),
-                                std::move(roots), ctx);
+    // reduce_route resolves the shard knob: the windowed (ledger-free)
+    // solver may take the sharded path, the ledger modes always reduce
+    // monolithically (effective_shard_count).
+    return detail::reduce_route(inst, solver, opt.engine,
+                                /*collapse_groups=*/false, ctx);
 }
 
 /// True when every bound of the spec is exactly zero (the exact ledger's

@@ -53,6 +53,7 @@
 #include "core/nn_index.hpp"
 #include "topo/tree.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -106,6 +107,18 @@ struct engine_options {
     /// are bit-identical on or off; hit/miss counters land in
     /// engine_stats.
     bool plan_cache = true;
+    /// Sharded reduction (DESIGN.md §4): split the initial roots into
+    /// spatial shards, sub-reduce each independently (fanned over
+    /// `executor` when present), then stitch the shard roots with the
+    /// phase-2 associative machinery.  1 (the default) keeps the
+    /// monolithic single-front reduce bit-identical to previous releases;
+    /// K >= 2 forces exactly K shards; 0 picks an automatic count from the
+    /// population and the executor concurrency (auto_shard_count,
+    /// shard.hpp).  Only the strategy-level drivers honour this knob —
+    /// `bottom_up_engine::reduce` itself always runs one front — and it is
+    /// ignored (monolithic) for ledger-backed solvers, whose offset state
+    /// cannot be split across independent sub-reductions.
+    int shards = 1;
     /// Cooperative cancellation (deadline and/or cancel flag): polled at
     /// merge-round granularity — once per nearest-pair selection step and
     /// once per multi-merge round — so a fired token interrupts the reduce
@@ -134,6 +147,34 @@ struct engine_stats {
     int speculated_plans = 0;     ///< plans dispatched ahead of selection
     int speculative_hits = 0;     ///< speculated plans later consumed
     int wasted_speculation = 0;   ///< speculated plans never consumed
+    /// Sub-reductions of the sharded path (0 = monolithic reduce).  Set by
+    /// the shard driver, which folds every shard's counters into one stats
+    /// block with `accumulate` — each shard writes its own block, so the
+    /// sums are exact even when a cancellation unwinds mid-shard.
+    int shards = 0;
+
+    /// Fold another stats block into this one (per-shard bookkeeping of
+    /// the sharded reduction; every additive counter sums, the violation
+    /// maximum maximises).  `shards` sums too: sub-shard counts nest.
+    void accumulate(const engine_stats& o) {
+        merges += o.merges;
+        disjoint_merges += o.disjoint_merges;
+        shared_merges += o.shared_merges;
+        multi_shared_merges += o.multi_shared_merges;
+        root_snakes += o.root_snakes;
+        interior_snakes += o.interior_snakes;
+        snake_wire += o.snake_wire;
+        rejected_pairs += o.rejected_pairs;
+        forced_merges += o.forced_merges;
+        worst_violation = std::max(worst_violation, o.worst_violation);
+        rounds += o.rounds;
+        plan_cache_hits += o.plan_cache_hits;
+        plan_cache_misses += o.plan_cache_misses;
+        speculated_plans += o.speculated_plans;
+        speculative_hits += o.speculative_hits;
+        wasted_speculation += o.wasted_speculation;
+        shards += o.shards;
+    }
 };
 
 /// Thrown by an engine checkpoint that observes a fired cancel token; the

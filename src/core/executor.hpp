@@ -2,7 +2,7 @@
 
 /// \file executor.hpp
 /// Minimal task-execution and cooperative-cancellation contracts shared by
-/// the merge engine and the routing service (DESIGN.md §6-§7).
+/// the merge engine and the routing service (DESIGN.md §7-§8).
 ///
 /// The engine's multi-merge rounds and the service's batched requests both
 /// need "run these n independent jobs, possibly concurrently, and wait".
@@ -35,7 +35,7 @@
 
 namespace astclk::core {
 
-/// Terminal disposition of a route request (DESIGN.md §7).  Replaces bare
+/// Terminal disposition of a route request (DESIGN.md §8).  Replaces bare
 /// error-string signaling: callers branch on the kind, `status_message`
 /// (route_result) carries the human detail.
 enum class route_status {

@@ -8,14 +8,12 @@ namespace detail {
 route_result strategy_ext_bst(const routing_request& req,
                               routing_context& ctx) {
     const topo::instance& inst = *req.instance;
-    topo::clock_tree t;
-    auto roots = make_leaves(inst, t, /*collapse_groups=*/true);
     // Groups are collapsed to synthetic group 0, so the request's
     // default_bound is the single global bound of the EXT-BST baseline.
     merge_solver solver(req.options.model,
                         skew_spec::uniform(req.spec.default_bound));
-    return finish_route(inst, solver, req.options.engine, std::move(t),
-                        std::move(roots), ctx);
+    return reduce_route(inst, solver, req.options.engine,
+                        /*collapse_groups=*/true, ctx);
 }
 
 }  // namespace detail

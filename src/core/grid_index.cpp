@@ -30,10 +30,18 @@ void grid_index::size_to(const std::vector<topo::node_id>& items) {
 
     // ~1 expected root per cell: ceil(sqrt(n)) cells per axis over the
     // larger extent, square cells so the ring lower bound holds per-axis.
+    // Tiny populations (sub-reduction shards, endgame rebuilds) are
+    // clamped to kmin_cells_per_axis: sqrt-sizing would hand a 16-root
+    // shard a near-degenerate 4x4 (or, after rounding, coarser) grid whose
+    // every ring visit scans a large fraction of the population — linear
+    // scanning with grid overhead on top.  A finer floor keeps ring
+    // expansion pruning; occupancy below 1 is harmless (nearest_if is
+    // exact for every cell size, so sizing never changes an answer).
     const double extent = std::max(bu.length(), bv.length());
-    const int target =
-        std::max(1, static_cast<int>(std::ceil(
-                        std::sqrt(static_cast<double>(items.size())))));
+    const int target = std::max(
+        kmin_cells_per_axis,
+        static_cast<int>(
+            std::ceil(std::sqrt(static_cast<double>(items.size())))));
     if (extent <= 0.0) {
         cell_ = 1.0;
         nu_ = nv_ = 1;

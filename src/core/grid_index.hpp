@@ -79,6 +79,11 @@ class grid_index {
     /// How many occupancy-adaptive rebuilds have run (diagnostics/tests).
     [[nodiscard]] int rebuilds() const { return rebuilds_; }
 
+    /// Current cell counts per axis (diagnostics/tests: the sizing clamp
+    /// for tiny populations is asserted through these).
+    [[nodiscard]] int cells_u() const { return nu_; }
+    [[nodiscard]] int cells_v() const { return nv_; }
+
     /// Nearest active root to `id` by arc distance, skipping `id` itself
     /// and banned partners; identical contract (including id tie-breaks) to
     /// nn_index::nearest_if.
@@ -130,6 +135,13 @@ class grid_index {
     /// Below this population the adaptive rebuild stops bothering: the
     /// whole grid is a handful of cells either way.
     static constexpr std::size_t kmin_rebuild_population = 16;
+
+    /// Cell-count floor per axis.  sqrt-sizing a tiny population (a small
+    /// sub-reduction shard, n < ~64) would build a near-degenerate grid —
+    /// in the limit one cell, i.e. a linear scan paying grid overhead —
+    /// so sizing clamps to at least this many cells per axis.  Purely a
+    /// performance knob: answers are exact for every cell size.
+    static constexpr int kmin_cells_per_axis = 8;
 
     /// Size origin/cell/cells_ for `items` (bounds from their current
     /// arcs); does not touch the active_set registration.

@@ -1,7 +1,7 @@
 #pragma once
 
 /// \file route_context.hpp
-/// Shared per-run state for the routing service (DESIGN.md §5): the
+/// Shared per-run state for the routing service (DESIGN.md §6): the
 /// expensive pieces every route needs but no route should rebuild —
 ///
 ///  * the configured delay model (the context's default; requests can

@@ -2,7 +2,7 @@
 
 /// \file route_service.hpp
 /// Streaming, multi-threaded front-end over the strategy registry
-/// (DESIGN.md §6-§7) — the serving spine for many concurrent route
+/// (DESIGN.md §7-§8) — the serving spine for many concurrent route
 /// requests.
 ///
 /// A route_service owns
@@ -23,10 +23,19 @@
 ///
 /// Each request additionally carries the pool down into the merge engine,
 /// whose multi-merge rounds fan their nearest-neighbour queries and plan()
-/// calls out over the same threads (engine.hpp).  Every fan-out obeys the
-/// write-your-own-slot rule, so served, threaded runs return results
-/// bit-identical to direct single-threaded router calls — thread counts
-/// change wall-clock, never trees.
+/// calls out over the same threads (engine.hpp), and — for requests with
+/// `engine.shards != 1` — into the sharded reduction (shard.hpp), whose
+/// sub-reductions run as one shard sub-batch on the same pool under the
+/// submitting request's deadline and priority: the handle's cancel token
+/// is polled at every shard's checkpoints, so one deadline bounds the
+/// whole fan-out.  Every fan-out obeys the write-your-own-slot rule, so
+/// served, threaded runs return results bit-identical to direct
+/// single-threaded router calls — thread counts change wall-clock, never
+/// trees.  One caveat: `engine.shards == 0` (auto) chooses the shard
+/// *count* from the executor concurrency, so the partition itself — and
+/// with it the tree — can differ between pools of different widths; pin
+/// a fixed shard count for cross-deployment reproducibility (any fixed
+/// count is bit-identical across thread counts).
 ///
 /// Failure isolation: a worker catches its request's exceptions and
 /// reports them as `route_status::error` in the result; one malformed

@@ -19,7 +19,7 @@
 /// All four are thin wrappers over the routing-service layer (strategy.hpp:
 /// `routing_request` → `route()` dispatch through the strategy registry);
 /// batch execution and state sharing live in route_service.hpp /
-/// route_context.hpp (DESIGN.md §5-§6).
+/// route_context.hpp (DESIGN.md §6-§7).
 
 #include "core/embedder.hpp"
 #include "core/engine.hpp"
@@ -55,7 +55,7 @@ struct route_result {
     [[nodiscard]] bool ok() const { return status == route_status::ok; }
 };
 
-/// Strategy for AST-DME (see DESIGN.md §4):
+/// Strategy for AST-DME (see DESIGN.md §5):
 ///  * `windowed` — the paper's literal algorithm (Fig. 6 cases): per-merge
 ///    feasibility windows, interior snaking for conflicts (Eqs. 5.1-5.3),
 ///    infeasible pairs rejected.  Exploits inter-group freedom merge by

@@ -12,26 +12,50 @@
 /// calls report cpu_seconds identically.
 
 #include "core/route_context.hpp"
+#include "core/shard.hpp"
 #include "core/strategy.hpp"
 
 namespace astclk::core::detail {
 
-/// Create one leaf per sink.  When `collapse_groups` is set every leaf is
-/// booked under synthetic group 0, which turns the associative problem into
-/// a conventional single-group one (ZST / EXT-BST baselines).
-inline std::vector<topo::node_id> make_leaves(const topo::instance& inst,
-                                              topo::clock_tree& t,
-                                              bool collapse_groups) {
+/// Create one leaf per listed sink, in the given order.  When
+/// `collapse_groups` is set every leaf is booked under synthetic group 0,
+/// which turns the associative problem into a conventional single-group
+/// one (ZST / EXT-BST baselines).  The one leaf-construction primitive:
+/// the monolithic path books every sink, the shard driver books one
+/// shard's subset — both through this body, so leaf initialisation can
+/// never diverge between the two paths.
+inline std::vector<topo::node_id> make_leaves(
+    const topo::instance& inst, topo::clock_tree& t,
+    const std::vector<std::int32_t>& sinks, bool collapse_groups) {
     std::vector<topo::node_id> roots;
-    roots.reserve(inst.sinks.size());
-    for (std::size_t i = 0; i < inst.sinks.size(); ++i) {
-        const topo::node_id id =
-            t.add_leaf(inst, static_cast<std::int32_t>(i));
+    roots.reserve(sinks.size());
+    for (const std::int32_t i : sinks) {
+        const topo::node_id id = t.add_leaf(inst, i);
         if (collapse_groups)
             t.node(id).delays = topo::group_delays::single(0);
         roots.push_back(id);
     }
     return roots;
+}
+
+/// Create one leaf per sink of the instance (ascending sink order).
+inline std::vector<topo::node_id> make_leaves(const topo::instance& inst,
+                                              topo::clock_tree& t,
+                                              bool collapse_groups) {
+    std::vector<std::int32_t> all(inst.sinks.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = static_cast<std::int32_t>(i);
+    return make_leaves(inst, t, all, collapse_groups);
+}
+
+/// Fill in the result bookkeeping shared by every whole-tree strategy
+/// tail: root, top-down embedding, tree ownership, wirelength.
+inline void finalize_result(const topo::instance& inst, topo::clock_tree t,
+                            topo::node_id root, route_result& res) {
+    t.set_root(root);
+    res.embed = embed_tree(t, inst.source);
+    res.tree = std::move(t);
+    res.wirelength = res.tree.total_wirelength();
 }
 
 /// Reduce the given roots (borrowing a scratch from the context's pool),
@@ -47,11 +71,26 @@ inline route_result finish_route(const topo::instance& inst,
     auto lease = ctx.scratch();
     const topo::node_id root =
         engine.reduce(t, std::move(roots), &res.stats, lease.get());
-    t.set_root(root);
-    res.embed = embed_tree(t, inst.source);
-    res.tree = std::move(t);
-    res.wirelength = res.tree.total_wirelength();
+    finalize_result(inst, std::move(t), root, res);
     return res;
+}
+
+/// Sink-level route entry for the whole-die strategies: resolve the shard
+/// knob and either run the monolithic path (leaves + one reduce — the
+/// bit-identical default) or hand the instance to the sharded driver
+/// (shard.hpp: partition → parallel sub-reduce → associative stitch).
+inline route_result reduce_route(const topo::instance& inst,
+                                 const merge_solver& solver,
+                                 const engine_options& eopt,
+                                 bool collapse_groups,
+                                 routing_context& ctx) {
+    const int k = effective_shard_count(eopt, solver, inst.sinks.size());
+    if (k > 1)
+        return sharded_route(inst, solver, eopt, collapse_groups, k, ctx);
+    topo::clock_tree t;
+    auto roots = make_leaves(inst, t, collapse_groups);
+    return finish_route(inst, solver, eopt, std::move(t), std::move(roots),
+                        ctx);
 }
 
 // The four built-in strategies (registered by strategy_registry's ctor).

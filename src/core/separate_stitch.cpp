@@ -1,5 +1,6 @@
 #include "core/router.hpp"
 #include "core/router_detail.hpp"
+#include "core/stitch.hpp"
 
 namespace astclk::core {
 
@@ -35,13 +36,13 @@ route_result strategy_separate_stitch(const routing_request& req,
 
     // Phase 2: stitch the per-group trees (no inter-group constraints, so
     // every stitch is a disjoint-group merge — but the damage from building
-    // the trees separately is already done, cf. Fig. 2).
-    const topo::node_id root =
-        engine.reduce(t, std::move(group_roots), &res.stats, lease.get());
-    t.set_root(root);
-    res.embed = embed_tree(t, inst.source);
-    res.tree = std::move(t);
-    res.wirelength = res.tree.total_wirelength();
+    // the trees separately is already done, cf. Fig. 2).  The stitch itself
+    // is the shared phase-2 implementation (stitch.hpp) the sharded
+    // reduction uses too.
+    const topo::node_id root = stitch_roots(solver, opt.engine, t,
+                                            std::move(group_roots),
+                                            &res.stats, lease.get());
+    finalize_result(inst, std::move(t), root, res);
     return res;
 }
 

@@ -1,0 +1,210 @@
+#include "core/shard.hpp"
+
+#include "core/router_detail.hpp"
+#include "core/stitch.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace astclk::core {
+
+namespace {
+
+/// Sink tilted coordinates, precomputed once per partition: the
+/// comparator and the slab hull both index this instead of re-deriving
+/// to_tilted() per comparison (~log2(k) full passes otherwise).
+using tilted_points = std::vector<geom::tilted_point>;
+
+/// Bounding slab of the sinks in idx[lo, hi) as a tilted_rect (the hull of
+/// their tilted points) — the geometry the bisection splits.
+geom::tilted_rect slab_of(const tilted_points& tp,
+                          const std::vector<std::int32_t>& idx,
+                          std::size_t lo, std::size_t hi) {
+    geom::tilted_rect slab = geom::tilted_rect::empty_set();
+    for (std::size_t i = lo; i < hi; ++i) {
+        const geom::tilted_point& p = tp[static_cast<std::size_t>(idx[i])];
+        slab = slab.hull(geom::tilted_rect::at(p));
+    }
+    return slab;
+}
+
+/// Recursive bisection of idx[lo, hi) into k shards, emitted left to
+/// right.  Splits the longer axis of the slab at the population-
+/// proportional rank; nth_element with (coordinate, sink index) keeps the
+/// split deterministic under duplicate coordinates.  k <= hi - lo holds on
+/// every call (the caller clamps, and the proportional rank preserves it),
+/// so no shard comes out empty.
+void bisect(const tilted_points& tp, std::vector<std::int32_t>& idx,
+            std::size_t lo, std::size_t hi, int k, shard_partition& out) {
+    if (k <= 1) {
+        std::vector<std::int32_t> shard(idx.begin() + static_cast<long>(lo),
+                                        idx.begin() + static_cast<long>(hi));
+        std::sort(shard.begin(), shard.end());
+        out.push_back(std::move(shard));
+        return;
+    }
+    const int kl = (k + 1) / 2;
+    const int kr = k - kl;
+    const geom::tilted_rect slab = slab_of(tp, idx, lo, hi);
+    const bool by_u = slab.u().length() >= slab.v().length();
+    const auto coord = [&](std::int32_t s) {
+        const geom::tilted_point& p = tp[static_cast<std::size_t>(s)];
+        return by_u ? p.u : p.v;
+    };
+    const std::size_t m = hi - lo;
+    const std::size_t left =
+        std::clamp(m * static_cast<std::size_t>(kl) /
+                       static_cast<std::size_t>(k),
+                   static_cast<std::size_t>(kl),
+                   m - static_cast<std::size_t>(kr));
+    std::nth_element(idx.begin() + static_cast<long>(lo),
+                     idx.begin() + static_cast<long>(lo + left),
+                     idx.begin() + static_cast<long>(hi),
+                     [&](std::int32_t a, std::int32_t b) {
+                         const double ca = coord(a), cb = coord(b);
+                         if (ca != cb) return ca < cb;
+                         return a < b;
+                     });
+    bisect(tp, idx, lo, lo + left, kl, out);
+    bisect(tp, idx, lo + left, hi, kr, out);
+}
+
+}  // namespace
+
+shard_partition partition_sinks(const topo::instance& inst, int shards) {
+    const std::size_t n = inst.sinks.size();
+    if (n == 0) return {};  // no sinks, no shards (never an empty shard)
+    const int k = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(std::max(shards, 1)), n));
+    std::vector<std::int32_t> idx(n);
+    tilted_points tp(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        idx[i] = static_cast<std::int32_t>(i);
+        tp[i] = inst.sinks[i].loc.to_tilted();
+    }
+    shard_partition out;
+    out.reserve(static_cast<std::size_t>(k));
+    bisect(tp, idx, 0, n, k, out);
+    return out;
+}
+
+int auto_shard_count(std::size_t population, int concurrency) {
+    /// ~512 sinks per shard keeps each sub-reduction deep in the regime
+    /// where the grid rings stay local and the heaps shallow (measured on
+    /// the large family: the single-thread win peaks around 500-sink
+    /// shards and erodes past ~2000); 192 is the floor below which
+    /// per-shard fixed costs eat the gain, and below ~3 shards' worth of
+    /// sinks the partition cannot pay for itself at all.
+    constexpr std::size_t ktarget = 512;
+    constexpr std::size_t kmin_population = 192;
+    if (population < 3 * ktarget) return 1;
+    std::size_t k = (population + ktarget / 2) / ktarget;
+    const std::size_t cap = population / kmin_population;
+    const auto conc =
+        static_cast<std::size_t>(std::max(concurrency, 1));
+    k = std::max(k, std::min(conc, cap));
+    return static_cast<int>(std::min(k, cap));
+}
+
+int effective_shard_count(const engine_options& opt,
+                          const merge_solver& solver,
+                          std::size_t population) {
+    // Ledger-backed solvers share one offset state across every merge;
+    // independent sub-reductions would each bind their own copy, so the
+    // knob silently degrades to the monolithic front (same contract as
+    // the plan cache and speculation).
+    if (solver.ledger() != nullptr) return 1;
+    int k = opt.shards;
+    if (k == 1) return 1;
+    if (k < 1)
+        k = auto_shard_count(
+            population,
+            opt.executor != nullptr ? opt.executor->concurrency() : 1);
+    return static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(std::max(k, 1)),
+        std::max<std::size_t>(population, 1)));
+}
+
+route_result sharded_route(const topo::instance& inst,
+                           const merge_solver& solver,
+                           const engine_options& opt, bool collapse_groups,
+                           int shards, routing_context& ctx) {
+    assert(shards >= 2);
+    const shard_partition parts = partition_sinks(inst, shards);
+    const std::size_t k = parts.size();
+    if (k == 0)  // sink-less instance: nothing to reduce, nothing to stitch
+        throw std::invalid_argument("sharded_route: instance has no sinks");
+
+    struct shard_run {
+        topo::clock_tree tree;
+        topo::node_id root = topo::knull_node;
+        engine_stats stats;
+    };
+    std::vector<shard_run> runs(k);
+
+    // Per-shard engine configuration: the shard is the unit of
+    // parallelism, so shard reduces run sequentially (no nested executor,
+    // hence no speculation) and never re-shard.  When the shard loop fans
+    // out, the cancel probe is dropped from the shard tokens — probes are
+    // test instrumentation counted on the driving thread only — while the
+    // flag/deadline checks stay live at every shard's checkpoints.
+    engine_options sopt = opt;
+    sopt.executor = nullptr;
+    sopt.shards = 1;
+    sopt.speculate_k = 0;
+    const bool fanned =
+        opt.executor != nullptr && opt.executor->concurrency() > 1 && k > 1;
+    if (fanned) sopt.cancel.set_probe(nullptr);
+    const bottom_up_engine shard_engine(solver, sopt);
+
+    route_status stop = route_status::ok;
+    try {
+        run_indexed(opt.executor, k, [&](std::size_t i) {
+            shard_run& run = runs[i];
+            auto lease = ctx.scratch();
+            auto leaves =
+                detail::make_leaves(inst, run.tree, parts[i], collapse_groups);
+            run.root = shard_engine.reduce(run.tree, std::move(leaves),
+                                           &run.stats, lease.get());
+        });
+    } catch (const route_interrupt& e) {
+        stop = e.status();
+    }
+
+    // Exact aggregation: every shard wrote its own stats block — the
+    // completed ones fully, an interrupted one up to its last checkpoint,
+    // never-started ones not at all — so summing the blocks once counts
+    // each shard's work exactly once, cancellation unwinds included.
+    engine_stats total;
+    for (const shard_run& run : runs) total.accumulate(run.stats);
+    total.shards = static_cast<int>(k);
+    if (stop != route_status::ok) throw route_interrupt(stop, total);
+
+    // Graft the shard trees into one arena in partition order (node ids —
+    // and with them every downstream tie-break — depend only on the
+    // partition, not on which worker reduced which shard), then stitch
+    // the shard roots with the phase-2 associative machinery.  The stitch
+    // keeps the caller's executor and the full cancel token; an interrupt
+    // here carries `total`, which the stitch was accumulating into.
+    route_result res;
+    topo::clock_tree t;
+    std::vector<topo::node_id> roots;
+    roots.reserve(k);
+    std::size_t total_nodes = k - 1;  // the stitch adds k - 1 internal nodes
+    for (const shard_run& run : runs) total_nodes += run.tree.size();
+    t.reserve_nodes(total_nodes);
+    for (const shard_run& run : runs)
+        roots.push_back(t.absorb(run.tree) + run.root);
+    topo::node_id root;
+    {
+        auto lease = ctx.scratch();
+        root = stitch_roots(solver, opt, t, std::move(roots), &total,
+                            lease.get());
+    }
+    res.stats = total;
+    detail::finalize_result(inst, std::move(t), root, res);
+    return res;
+}
+
+}  // namespace astclk::core

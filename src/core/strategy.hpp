@@ -2,7 +2,7 @@
 
 /// \file strategy.hpp
 /// The unified routing-request interface and strategy registry
-/// (DESIGN.md §5).
+/// (DESIGN.md §6).
 ///
 /// The four routers — ZST-DME, EXT-BST, AST-DME, separate-stitch — are
 /// registered *strategies* behind one call:

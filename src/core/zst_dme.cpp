@@ -8,11 +8,9 @@ namespace detail {
 route_result strategy_zst_dme(const routing_request& req,
                               routing_context& ctx) {
     const topo::instance& inst = *req.instance;
-    topo::clock_tree t;
-    auto roots = make_leaves(inst, t, /*collapse_groups=*/true);
     merge_solver solver(req.options.model, skew_spec::zero());
-    return finish_route(inst, solver, req.options.engine, std::move(t),
-                        std::move(roots), ctx);
+    return reduce_route(inst, solver, req.options.engine,
+                        /*collapse_groups=*/true, ctx);
 }
 
 }  // namespace detail

@@ -21,6 +21,20 @@ instance_spec paper_spec(const std::string& name) {
     throw std::invalid_argument("unknown paper benchmark: " + name);
 }
 
+std::array<instance_spec, 3> large_suite() {
+    std::array<instance_spec, 3> s;
+    s[0] = {"l1", 10000, 100000.0, 5e-15, 50e-15, 0.7, 16, 3500.0, 21};
+    s[1] = {"l2", 20000, 100000.0, 5e-15, 50e-15, 0.7, 20, 3200.0, 22};
+    s[2] = {"l3", 50000, 100000.0, 5e-15, 50e-15, 0.7, 24, 3000.0, 23};
+    return s;
+}
+
+instance_spec large_spec(const std::string& name) {
+    for (const auto& s : large_suite())
+        if (s.name == name) return s;
+    throw std::invalid_argument("unknown large benchmark: " + name);
+}
+
 topo::instance generate(const instance_spec& spec) {
     topo::instance inst;
     inst.name = spec.name;

@@ -39,6 +39,16 @@ struct instance_spec {
 /// Look up a paper benchmark by name ("r1".."r5"); throws on unknown names.
 [[nodiscard]] instance_spec paper_spec(const std::string& name);
 
+/// The large-instance family ("l1".."l3", 10k/20k/50k sinks): an order of
+/// magnitude past r5, with the denser clustering of real register banks
+/// (70% of sinks in tight 3000–3500-unit clusters).  The regime the
+/// sharded reduction targets — a monolithic uniform grid sized for the
+/// whole die drowns in the dense cells, while per-shard grids stay local.
+[[nodiscard]] std::array<instance_spec, 3> large_suite();
+
+/// Look up a large benchmark by name ("l1".."l3"); throws on unknown names.
+[[nodiscard]] instance_spec large_spec(const std::string& name);
+
 /// Generate sinks (all in group 0; apply a grouping afterwards) with the
 /// source at the die centre.
 [[nodiscard]] topo::instance generate(const instance_spec& spec);

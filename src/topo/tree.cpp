@@ -40,6 +40,19 @@ node_id clock_tree::add_internal(node_id left, node_id right,
     return id;
 }
 
+node_id clock_tree::absorb(const clock_tree& donor) {
+    const auto shift = static_cast<node_id>(nodes_.size());
+    for (const tree_node& dn : donor.nodes_) {
+        tree_node n = dn;
+        n.id += shift;
+        if (n.left != knull_node) n.left += shift;
+        if (n.right != knull_node) n.right += shift;
+        if (n.parent != knull_node) n.parent += shift;
+        nodes_.push_back(std::move(n));
+    }
+    return shift;
+}
+
 double clock_tree::total_wirelength() const {
     double wl = source_edge_;
     for (const auto& n : nodes_) {

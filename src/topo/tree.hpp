@@ -58,6 +58,22 @@ class clock_tree {
                          double edge_left, double edge_right,
                          double subtree_cap, group_delays delays);
 
+    /// Append every node of `donor` in id order, shifting all node
+    /// references (id, children, parent) by this tree's current size;
+    /// returns that shift.  Donor node `i` becomes node `shift + i`, so a
+    /// donor root maps deterministically — the sharded reduction uses this
+    /// to combine independently built per-shard trees into one arena
+    /// before stitching their roots.  The donor's root/source-edge
+    /// bookkeeping is not carried over (grafted subtrees are roots among
+    /// others until a later merge adopts them).  Deliberately does not
+    /// reserve: per-call exact reservations would defeat the vector's
+    /// geometric growth across an absorb chain (quadratic node copies);
+    /// callers that know the final size should `reserve_nodes` once.
+    node_id absorb(const clock_tree& donor);
+
+    /// Reserve arena capacity for `n` nodes (absorb chains, bulk builds).
+    void reserve_nodes(std::size_t n) { nodes_.reserve(n); }
+
     [[nodiscard]] const tree_node& node(node_id id) const { return nodes_[static_cast<std::size_t>(id)]; }
     [[nodiscard]] tree_node& node(node_id id) { return nodes_[static_cast<std::size_t>(id)]; }
 

@@ -216,6 +216,36 @@ TEST(GridIndex, EraseReinsertKeepsAnswersConsistent) {
     }
 }
 
+TEST(GridIndex, TinyPopulationsKeepMinimumCellResolution) {
+    // Sizing clamp for small populations (sub-reduction shards): a tiny
+    // root set spread over a wide extent must still get a grid of at
+    // least kmin_cells_per_axis cells along its longer axis — sqrt-sizing
+    // alone would hand it a near-degenerate few-cell grid whose ring
+    // visits scan most of the population (a linear scan paying grid
+    // overhead).  Answers stay exact either way; the clamp (and this
+    // test) is about the cell resolution itself.
+    for (const int n : {2, 5, 16, 48, 63}) {
+        const auto inst = seeded_instance(n, 77, false, 1);
+        clock_tree t;
+        std::vector<node_id> roots;
+        for (std::size_t i = 0; i < inst.sinks.size(); ++i)
+            roots.push_back(t.add_leaf(inst, static_cast<int>(i)));
+        const grid_index grid(&t, roots);
+        EXPECT_GE(std::max(grid.cells_u(), grid.cells_v()), 8) << "n=" << n;
+        // ...and the clamped grid still answers exactly like the linear
+        // reference, bans and churn included.
+        expect_index_equivalence(t, roots, 77 + static_cast<unsigned>(n));
+    }
+    // Past the clamp region sqrt-sizing takes over unchanged.
+    const auto inst = seeded_instance(256, 78, false, 1);
+    clock_tree t;
+    std::vector<node_id> roots;
+    for (std::size_t i = 0; i < inst.sinks.size(); ++i)
+        roots.push_back(t.add_leaf(inst, static_cast<int>(i)));
+    const grid_index grid(&t, roots);
+    EXPECT_GE(std::max(grid.cells_u(), grid.cells_v()), 16);
+}
+
 TEST(GridIndex, OccupancyAdaptiveRebuildKeepsAnswersExact) {
     // Shrink the active set the way the engine does (erasures dominate);
     // the occupancy-adaptive rebuild must fire as the population collapses
