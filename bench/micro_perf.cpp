@@ -171,6 +171,67 @@ bench::perf_record bench_route(const topo::instance& inst,
     return rec;
 }
 
+/// Resilience cost model (DESIGN.md §10): an 8-shard zero-skew route
+/// with a poisoned-shard fault fired at the last shard's gate.  Rows:
+///   "clean"   — the unfaulted sharded route (reference cost);
+///   "salvage" — engine salvage on: the 7 completed sub-trees are kept,
+///               the poisoned shard is rebuilt greedily, the stitch runs
+///               — the wall-clock of producing the degraded tree (the
+///               gated series: salvage must stay cheaper than rerunning);
+///   "discard" — salvage off: the faulted attempt unwinds and a full
+///               clean rerun recovers — the cost salvage avoids.
+bench::perf_record bench_degrade_salvage(const topo::instance& inst,
+                                         const std::string& mode, int reps) {
+    bench::perf_record rec;
+    rec.bench = "degrade_salvage";
+    rec.backend = mode;
+    rec.n = static_cast<int>(inst.sinks.size());
+    rec.seconds = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < reps; ++rep) {
+        core::routing_request req;
+        req.instance = &inst;
+        req.strategy = core::strategy_id::zst_dme;
+        req.options.engine.shards = 8;
+        // A fresh plan per repetition: events consume when they fire.
+        core::fault_plan plan = core::fault_plan::seeded(0, 0);
+        if (mode != "clean") {
+            plan.schedule(core::fault_site::shard, 8,
+                          core::fault_kind::poisoned_shard);
+            req.options.engine.cancel.set_faults(&plan);
+        }
+        req.options.engine.salvage = mode == "salvage";
+        const auto t0 = std::chrono::steady_clock::now();
+        auto r = core::route(req);
+        if (mode == "discard") {
+            if (r.status != core::route_status::data_fault) {
+                std::cerr << "degrade_salvage discard row expected a "
+                             "data_fault, got "
+                          << core::to_string(r.status) << "\n";
+                std::exit(1);
+            }
+            core::routing_request rerun = req;
+            rerun.options.engine.cancel = core::cancel_token{};
+            rerun.options.engine.salvage = false;
+            r = core::route(rerun);  // recovery-by-rerun pays full price
+        }
+        const double secs = now_diff(t0);
+        if (!r.usable()) {
+            std::cerr << "degrade_salvage " << mode << " row failed ("
+                      << core::to_string(r.status)
+                      << "): " << r.status_message << "\n";
+            std::exit(1);
+        }
+        if (secs < rec.seconds) {
+            rec.seconds = secs;
+            rec.merges = r.stats.merges;
+            rec.wirelength = r.wirelength;
+        }
+    }
+    rec.merges_per_sec =
+        rec.seconds > 0.0 ? static_cast<double>(rec.merges) / rec.seconds : 0.0;
+    return rec;
+}
+
 /// The table2-shaped serving workload (EXT-BST baseline + windowed
 /// AST-DME per instance) shared by the batch and stream benches, so their
 /// series always measure the identical request mix.  `total_n` receives
@@ -437,6 +498,46 @@ int main(int argc, char** argv) {
             records.push_back(thw);
             records.push_back(mono);
         }
+    }
+
+    // Resilience: the cost of salvaging a faulted 8-shard r5 route vs
+    // discarding the attempt and rerunning from scratch.  Runs in quick
+    // mode too, so the committed full baseline always shares an n with
+    // the CI smoke run.  perf_diff gates the salvage wall-clock (widened
+    // tolerance — it includes a greedy shard rebuild) and reports the
+    // clean/discard rows plus the salvage-vs-discard recovery speedup and
+    // the salvaged-tree wirelength delta as info.
+    {
+        const auto inst = gen::generate(gen::paper_spec("r5"));
+        const int reps = quick ? 2 : 3;
+        const auto clean = bench_degrade_salvage(inst, "clean", reps);
+        const auto salvage = bench_degrade_salvage(inst, "salvage", reps);
+        const auto discard = bench_degrade_salvage(inst, "discard", reps);
+        t.add_row({salvage.bench, std::to_string(salvage.n), salvage.backend,
+                   io::table::fixed(salvage.seconds, 4),
+                   io::table::integer(salvage.merges_per_sec),
+                   salvage.seconds > 0.0
+                       ? io::table::fixed(discard.seconds / salvage.seconds,
+                                          2) +
+                             "x"
+                       : "-"});
+        t.add_row({discard.bench, std::to_string(discard.n), discard.backend,
+                   io::table::fixed(discard.seconds, 4),
+                   io::table::integer(discard.merges_per_sec), "1.00x"});
+        t.add_row({clean.bench, std::to_string(clean.n), clean.backend,
+                   io::table::fixed(clean.seconds, 4),
+                   io::table::integer(clean.merges_per_sec), "-"});
+        std::cout << "degrade_salvage n=" << salvage.n
+                  << " wirelength salvaged/clean: "
+                  << io::table::fixed(clean.wirelength > 0.0
+                                          ? salvage.wirelength /
+                                                clean.wirelength
+                                          : 0.0,
+                                      4)
+                  << "\n";
+        records.push_back(salvage);
+        records.push_back(discard);
+        records.push_back(clean);
     }
 
     // Batched serving throughput: the same table2-style batch at 1 worker

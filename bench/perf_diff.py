@@ -18,12 +18,16 @@ deterministic on any machine), the single-thread speculative-pipeline
 series (nearest_pair:t1 — the plain sequential path, so plan-cache and
 heap changes cannot regress 1-core hardware), and the single-thread
 sharded reduction (shard_reduce:t1 — auto shards on one thread, so the
-gate measures partition quality, not scheduling).  Multi-threaded
-service_batch / service_stream throughput, the speculative nearest_pair
-configurations and the fanned shard_reduce:thw series are reported but
-not gated (batch scheduling, speculation overlap and shard fan-out
-depend on core count, not engine quality).  Exit codes: 0 ok,
-1 regression, 2 usage/missing data.
+gate measures partition quality, not scheduling), and the salvage path
+of the resilience layer (degrade_salvage:salvage — recovering a faulted
+sharded route must stay cheaper than rerunning; widened tolerance since
+the row includes a greedy shard rebuild).  Multi-threaded service_batch
+/ service_stream throughput, the speculative nearest_pair
+configurations, the fanned shard_reduce:thw series and the
+degrade_salvage clean/discard rows are reported but not gated (batch
+scheduling, speculation overlap and shard fan-out depend on core count,
+not engine quality).  Exit codes: 0 ok, 1 regression, 2 usage/missing
+data.
 """
 
 import argparse
@@ -32,7 +36,7 @@ import sys
 
 GATED_DEFAULT = (
     "engine_reduce:grid,route_ast_windowed:grid,service_stream:t1:p95@0.5,"
-    "nearest_pair:t1@0.2,shard_reduce:t1@0.2"
+    "nearest_pair:t1@0.2,shard_reduce:t1@0.2,degrade_salvage:salvage@0.25"
 )
 CALIBRATION_SERIES = ("engine_reduce", "linear")
 
@@ -151,6 +155,25 @@ def main():
                   f"{r['seconds']:.4f}s, cache hit rate "
                   f"{r.get('cache_hit_rate', 0):.2%}, wasted speculation "
                   f"{r.get('wasted_spec_rate', 0):.2%}")
+        elif key[0] == "degrade_salvage" and key[1] != "salvage":
+            # clean / discard ride as info; the headline is the recovery
+            # speedup of salvage over discard-and-rerun, and the salvaged
+            # tree's wirelength premium over the clean route.
+            n = max(cur[key])
+            r = cur[key][n]
+            extra = ""
+            sal = cur.get(("degrade_salvage", "salvage"), {}).get(n)
+            if key[1] == "discard" and sal is not None:
+                if sal["seconds"] > 0:
+                    extra += (f", salvage recovery speedup "
+                              f"{r['seconds'] / sal['seconds']:.2f}x")
+            if key[1] == "clean" and sal is not None:
+                if r.get("wirelength", 0) > 0:
+                    extra += (f", wirelength salvaged/clean "
+                              f"{sal.get('wirelength', 0) / r['wirelength']:.4f}")
+            print(f"info {key[0]}:{key[1]} @ n={n}: "
+                  f"{r['seconds']:.4f}s, {r['merges_per_sec']:.0f} "
+                  f"merges/s{extra}")
         elif key[0] == "shard_reduce" and key[1] != "t1":
             # mono / thw ride as info; the sharded-vs-monolithic speedup
             # and wirelength delta at the largest n are the headline.

@@ -6,7 +6,8 @@
 //   $ ./route_cli INSTANCE [--algo ast|zst|bst|sep] [--bound PS]
 //                 [--mode auto|windowed|exact|soft] [--threads N]
 //                 [--deadline MS] [--speculate K] [--no-plan-cache]
-//                 [--shards K|auto] [--svg OUT.svg] [--json OUT.json]
+//                 [--shards K|auto] [--retries N] [--degrade]
+//                 [--fault-seed S] [--svg OUT.svg] [--json OUT.json]
 //
 // --threads 0 (default) uses the hardware concurrency; multi-merge engine
 // rounds fan out across the pool, and results are bit-identical to
@@ -20,9 +21,18 @@
 // 1 — the default — keeps the monolithic engine; ledger-backed AST modes
 // always reduce monolithically).  --deadline bounds the route's wall-clock: an expired
 // deadline stops the engine at the next merge-round checkpoint and the
-// run exits with status `deadline_exceeded`.  Exit status: 0 when routing
-// and verification succeed, 3 when the request was cancelled or timed
-// out, 1 on errors.
+// run exits with status `deadline_exceeded`.
+//
+// Resilience (DESIGN.md §10): --retries N grants the request N total
+// attempts with bounded exponential backoff on transient faults;
+// --degrade arms the graceful-degradation ladder and partial-result
+// salvage, so deadline/fault casualties come back as a valid (re-verified)
+// tree tagged `degraded` with the rung and reason printed; --fault-seed S
+// attaches a seeded deterministic fault plan (fault_plan::seeded) for
+// drilling the machinery — the same seed fires the same faults at the
+// same checkpoints every run.  Exit status: 0 when routing and
+// verification succeed at full fidelity, 4 for a verified degraded
+// result, 3 when the request was cancelled or timed out, 1 on errors.
 
 #include "core/route_service.hpp"
 #include "eval/report.hpp"
@@ -32,6 +42,7 @@
 #include "io/tree_json.hpp"
 
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -48,6 +59,7 @@ int usage(const char* argv0) {
                  " [--threads N] [--deadline MS]\n"
                  "          [--speculate K] [--no-plan-cache]"
                  " [--shards K|auto]\n"
+                 "          [--retries N] [--degrade] [--fault-seed S]\n"
                  "          [--svg OUT.svg] [--json OUT.json]\n";
     return 2;
 }
@@ -66,6 +78,9 @@ int main(int argc, char** argv) {
     int speculate_k = 0;
     bool plan_cache = true;
     int shards = 1;
+    int retries = 1;
+    bool degrade = false;
+    long long fault_seed = -1;  // < 0: no fault plan
     for (int i = 2; i < argc; ++i) {
         const std::string a = argv[i];
         const auto need = [&](const char* opt) -> const char* {
@@ -106,6 +121,16 @@ int main(int argc, char** argv) {
                 shards = static_cast<int>(parsed);
             }
         }
+        else if (a == "--retries") {
+            retries = std::atoi(need("--retries"));
+            if (retries < 1) {
+                std::cerr << "--retries wants a total attempt count >= 1\n";
+                return usage(argv[0]);
+            }
+        } else if (a == "--degrade")
+            degrade = true;
+        else if (a == "--fault-seed")
+            fault_seed = std::atoll(need("--fault-seed"));
         else if (a == "--svg")
             svg_out = need("--svg");
         else if (a == "--json")
@@ -145,10 +170,19 @@ int main(int argc, char** argv) {
             return usage(argv[0]);
     }
 
+    // The fault plan is borrowed by the request's cancel token, so it must
+    // outlive the route (and the service draining it).
+    core::fault_plan faults = core::fault_plan::seeded(
+        fault_seed >= 0 ? static_cast<std::uint64_t>(fault_seed) : 0,
+        fault_seed >= 0 ? 2 : 0);
+    if (fault_seed >= 0) req.options.engine.cancel.set_faults(&faults);
+
     core::service_options sopt;
     sopt.threads = threads;
     core::route_service service(sopt);
     core::submit_options sub;
+    sub.retry.max_attempts = retries;
+    sub.degrade.enabled = degrade;
     if (deadline_ms > 0.0)
         sub.deadline = std::chrono::steady_clock::now() +
                        std::chrono::duration_cast<
@@ -157,12 +191,14 @@ int main(int argc, char** argv) {
                                deadline_ms));
     core::route_handle handle = service.submit(req, sub);
     core::route_result route = handle.wait();
-    if (!route.ok()) {
+    if (!route.usable()) {
         std::cerr << "route " << core::to_string(route.status) << ": "
                   << route.status_message << " (after " << route.cpu_seconds
-                  << " s)\n";
+                  << " s, " << route.attempts << " attempt"
+                  << (route.attempts == 1 ? "" : "s") << ")\n";
         return route.status == core::route_status::error ? 1 : 3;
     }
+    const bool degraded = route.status == core::route_status::degraded;
     const core::router_options& opt = req.options;
 
     const auto ev = eval::evaluate(route.tree, inst, opt.model);
@@ -189,9 +225,25 @@ int main(int argc, char** argv) {
     if (st.shards > 0)
         std::cout << "  shards          : " << st.shards
                   << " sub-reductions\n";
+    if (route.attempts > 1)
+        std::cout << "  attempts        : " << route.attempts << '\n';
+    if (degraded) {
+        const auto& deg = route.degradation;
+        std::cout << "  degraded        : rung "
+                  << static_cast<int>(deg.rung) << " ("
+                  << core::to_string(deg.rung) << ") — " << deg.reason
+                  << '\n';
+        if (deg.rung == core::degrade_rung::salvaged)
+            std::cout << "  salvage         : " << deg.salvaged_shards
+                      << " sub-trees recovered, " << deg.greedy_shards
+                      << " completed greedily\n";
+    }
 
     eval::verify_options vopt;
-    if (algo == "sep" || algo == "zst" || algo == "bst" || mode != "windowed")
+    if (degraded)
+        vopt.skew_tolerance = route.stats.worst_violation + 1e-15;
+    else if (algo == "sep" || algo == "zst" || algo == "bst" ||
+             mode != "windowed")
         vopt.skew_tolerance = 1e-15;
     else
         vopt.skew_tolerance = route.stats.worst_violation + 1e-15;
@@ -208,5 +260,5 @@ int main(int argc, char** argv) {
         io::save_tree_json(json_out, route.tree, inst);
         std::cout << "  wrote " << json_out << '\n';
     }
-    return vr.ok ? 0 : 1;
+    return vr.ok ? (degraded ? 4 : 0) : 1;
 }

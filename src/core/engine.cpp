@@ -190,13 +190,15 @@ class nearest_reducer {
 
     topo::node_id run() {
         const bool watched = opt_.cancel.armed();
+        std::uint64_t step = 0;  // deterministic fault-site index
         while (idx_.size() > 1) {
             // The checkpoint precedes the speculative dispatch, so a fired
             // token never fans out another plan batch; the batch below is a
             // blocking parallel_for, so no plan() task can outlive the step
             // that dispatched it — cancellation strands nothing.
             if (watched) {
-                if (const route_status rs = opt_.cancel.poll();
+                if (const route_status rs =
+                        opt_.cancel.poll_at(fault_site::selection, ++step);
                     rs != route_status::ok)
                     interrupt(rs);
             }
@@ -570,9 +572,12 @@ topo::node_id reduce_multi_impl(const merge_solver& solver,
     std::vector<cand> cands;
     const bool watched = opt.cancel.armed();
 
+    std::uint64_t round_ckpt = 0;  // per-run fault-site index (st.rounds
+                                   // may carry accumulated shard counts)
     while (idx.size() > 1) {
         if (watched) {
-            if (const route_status rs = opt.cancel.poll();
+            if (const route_status rs = opt.cancel.poll_at(
+                    fault_site::round, ++round_ckpt);
                 rs != route_status::ok)
                 throw route_interrupt(rs, st);
         }

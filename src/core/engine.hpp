@@ -124,8 +124,17 @@ struct engine_options {
     /// once per multi-merge round — so a fired token interrupts the reduce
     /// within one round (a route_interrupt carrying the status unwinds to
     /// the strategy dispatch).  The default token never fires; an unarmed
-    /// run does no clock reads.
+    /// run does no clock reads.  Checkpoints are *named* fault sites
+    /// (executor.hpp fault_site): a fault_plan attached to the token can
+    /// fire typed faults at deterministic checkpoint indexes.
     cancel_token cancel;
+    /// Partial-result salvage (DESIGN.md §10): when a deadline or fault
+    /// interrupts the sharded reduction mid-fan-out, recover the completed
+    /// shard sub-trees, complete the unfinished shards with a cheap greedy
+    /// configuration, and stitch — returning a valid tree tagged
+    /// route_status::degraded instead of discarding all work.  Only the
+    /// sharded driver honors it; an explicit cancel() always discards.
+    bool salvage = false;
 };
 
 struct engine_stats {

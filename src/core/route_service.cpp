@@ -1,5 +1,8 @@
 #include "core/route_service.hpp"
 
+#include "core/shard.hpp"
+#include "eval/report.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
@@ -7,6 +10,8 @@
 #include <exception>
 #include <map>
 #include <mutex>
+#include <new>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -187,6 +192,11 @@ struct route_handle::state {
     routing_request req;
     submit_options opt;
     thread_pool::ticket ticket;  ///< set at submit; revoked by cancel()
+    /// Submission time (degradation-watermark reference point).
+    std::chrono::steady_clock::time_point submitted{};
+    /// Current degradation-ladder rung; only the serving attempt mutates
+    /// it (attempts are strictly sequential), so no synchronisation.
+    int rung = 0;
     std::atomic<bool> cancel_flag{false};
     std::atomic<bool> claimed{false};
     std::mutex mu;
@@ -295,25 +305,82 @@ route_result route_service::route(routing_request req) {
     return route_one(std::move(req));
 }
 
-/// Worker-side execution of one submission: claim it (backing off if a
-/// cancel got there first), wire the cancel token, route, and publish.
-/// Exceptions become route_status::error — isolation by construction.
-void route_service::serve(const std::shared_ptr<route_handle::state>& st) {
-    if (st->claimed.exchange(true, std::memory_order_acq_rel))
+namespace {
+
+/// Reconfigure a request for one degradation-ladder rung (cumulative:
+/// rung 2 implies rung 1's step).  Rung 3 swaps the strategy for the
+/// greedy EXT-BST under the spec's tightest bound — conservative: a
+/// global bound no looser than any group's bound satisfies every group.
+void apply_rung(routing_request& req, int rung, int concurrency) {
+    if (rung >= 1) req.options.engine.speculate_k = 0;
+    if (rung >= 2 && req.instance != nullptr)
+        req.options.engine.shards =
+            coarse_shard_count(req.instance->sinks.size(), concurrency);
+    if (rung >= 3) {
+        double b = req.spec.default_bound;
+        for (const auto& [g, ob] : req.spec.overrides) b = std::min(b, ob);
+        req.spec = skew_spec::uniform(b);
+        req.strategy = strategy_id::ext_bst;
+    }
+}
+
+}  // namespace
+
+/// Worker-side execution of one attempt of one submission: claim it on
+/// the first attempt (backing off if a cancel got there first), wire the
+/// cancel token, apply the current degradation rung, route, and either
+/// publish or re-enqueue the next attempt (retry with backoff, or one
+/// rung further down the ladder).  Exceptions become route_status::error
+/// — isolation by construction — except std::bad_alloc, which maps to
+/// the retryable `transient_fault`.
+void route_service::serve(const std::shared_ptr<route_handle::state>& st,
+                          int attempt) {
+    if (attempt == 1 && st->claimed.exchange(true, std::memory_order_acq_rel))
         return;  // cancelled while queued; cancel() completed it
-    routing_request req = std::move(st->req);  // nothing reads it after claim
+    const retry_policy& rp = st->opt.retry;
+    const degrade_policy& dp = st->opt.degrade;
+
+    // Deadline watermark: a (re)attempt starting deep into its budget is
+    // not going to finish a full-fidelity run — start it stepped down.
+    if (dp.enabled && st->opt.deadline != cancel_token::no_deadline()) {
+        const auto now = std::chrono::steady_clock::now();
+        const double total = std::chrono::duration<double>(
+                                 st->opt.deadline - st->submitted)
+                                 .count();
+        const double elapsed =
+            std::chrono::duration<double>(now - st->submitted).count();
+        if (total > 0.0) {
+            const double f = elapsed / total;
+            const double w = dp.deadline_watermark;
+            if (f >= w + (1.0 - w) / 2.0)
+                st->rung = std::max(st->rung, 3);
+            else if (f >= w)
+                st->rung = std::max(st->rung, 1);
+        }
+    }
+    const int rung = st->rung;
+
+    routing_request req = st->req;  // copied: a retry reuses the original
+    apply_rung(req, rung, pool_->concurrency());
+    req.options.engine.salvage = dp.enabled && dp.salvage;
     // The handle-wired token carries the submission's flag and deadline;
     // the request's own token keeps working through the chain (its flag
-    // and deadline are polled too), and its probe is forwarded so every
-    // checkpoint counts exactly once.  caller_tok outlives the route call.
+    // and deadline are polled too), and its probe and fault plan are
+    // forwarded so checkpoints count once and scheduled faults fire (the
+    // chain carries neither).  caller_tok outlives the route call.
     const cancel_token caller_tok = req.options.engine.cancel;
     cancel_token tok(&st->cancel_flag, st->opt.deadline);
     tok.set_probe(caller_tok.probe());
+    tok.set_faults(caller_tok.faults());
     tok.set_chain(&caller_tok);
     req.options.engine.cancel = tok;
     route_result res;
     try {
         res = route_one(std::move(req));
+    } catch (const std::bad_alloc&) {
+        res = route_result{};
+        res.status = route_status::transient_fault;
+        res.status_message = "allocation failure";
     } catch (const std::exception& e) {
         res = route_result{};
         res.status = route_status::error;
@@ -323,6 +390,75 @@ void route_service::serve(const std::shared_ptr<route_handle::state>& st) {
         res.status = route_status::error;
         res.status_message = "unknown error";
     }
+    res.attempts = attempt;
+
+    // Another attempt?  Retry first (same configuration, backoff), then
+    // the ladder (one rung down, immediately).  Neither fires once the
+    // handle is cancelled or the deadline is spent — and an expired
+    // deadline means `deadline_exceeded` was already the honest outcome.
+    const bool cancelled =
+        st->cancel_flag.load(std::memory_order_relaxed) ||
+        res.status == route_status::cancelled;
+    const auto now = std::chrono::steady_clock::now();
+    const bool retryable =
+        rp.retryable ? rp.retryable(res.status)
+                     : res.status == route_status::transient_fault;
+    bool again = false;
+    if (!cancelled && retryable && attempt < rp.max_attempts) {
+        auto backoff = rp.backoff_base;
+        for (int i = 1; i < attempt && backoff < rp.backoff_cap; ++i)
+            backoff *= 2;
+        backoff = std::min(backoff, rp.backoff_cap);
+        if (now + backoff < st->opt.deadline) {
+            // Sleeping here occupies this worker for the backoff — cheap
+            // (milliseconds) and simple; the re-enqueue then restores
+            // priority order among the waiting submissions.
+            std::this_thread::sleep_for(backoff);
+            again = true;
+        }
+    }
+    if (!again && !cancelled && dp.enabled && st->rung < 3 &&
+        (res.status == route_status::transient_fault ||
+         res.status == route_status::data_fault) &&
+        now < st->opt.deadline) {
+        ++st->rung;
+        again = true;
+    }
+    if (again) {
+        pool_->submit(st->opt.priority,
+                      [this, st, attempt] { serve(st, attempt + 1); });
+        return;
+    }
+
+    // Tag ladder results (the salvage path arrives already tagged) and
+    // re-verify every degraded tree with the independent evaluator — a
+    // stepped-down configuration must still produce a sound tree.
+    if (rung > 0 && res.status == route_status::ok &&
+        res.degradation.rung == degrade_rung::none) {
+        res.status = route_status::degraded;
+        res.degradation.rung = static_cast<degrade_rung>(rung);
+        res.degradation.reason =
+            std::string("degradation ladder rung ") + std::to_string(rung) +
+            " (" + to_string(res.degradation.rung) + ")";
+        res.status_message = res.degradation.reason;
+    }
+    if (res.status == route_status::degraded && dp.verify) {
+        eval::verify_options vopt;
+        // Forced merges (tracked by the engine) may leave a residual
+        // violation the run already reported; verify against it, not
+        // against zero, so the check tests the *tree*, not the engine's
+        // honesty about forced merges.
+        vopt.skew_tolerance += res.stats.worst_violation;
+        const eval::verify_result vr = eval::verify_route(
+            res, *st->req.instance, st->req.options.model, st->req.spec,
+            vopt);
+        res.degradation.verified = vr.ok;
+        if (!vr.ok) {
+            res.status = route_status::error;
+            res.status_message =
+                "degraded result failed verification: " + vr.message;
+        }
+    }
     st->complete(std::move(res));
 }
 
@@ -330,8 +466,9 @@ route_handle route_service::submit(routing_request req, submit_options opt) {
     auto st = std::make_shared<route_handle::state>();
     st->req = std::move(req);
     st->opt = std::move(opt);
+    st->submitted = std::chrono::steady_clock::now();
     const int priority = st->opt.priority;
-    st->ticket = pool_->submit(priority, [this, st] { serve(st); });
+    st->ticket = pool_->submit(priority, [this, st] { serve(st, 1); });
     return route_handle(std::move(st));
 }
 

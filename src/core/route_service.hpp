@@ -33,13 +33,28 @@
 /// single-threaded router calls — thread counts change wall-clock, never
 /// trees.  One caveat: `engine.shards == 0` (auto) chooses the shard
 /// *count* from the executor concurrency, so the partition itself — and
-/// with it the tree — can differ between pools of different widths; pin
-/// a fixed shard count for cross-deployment reproducibility (any fixed
-/// count is bit-identical across thread counts).
+/// with it the tree — can differ between pools of different widths; the
+/// resolved count is recorded in `route_result::resolved_shards` (and the
+/// serving attempt in `route_result::attempts`), so any served run can be
+/// reproduced exactly by pinning `engine.shards` to the recorded value
+/// (any fixed count is bit-identical across thread counts).
+///
+/// Resilience (DESIGN.md §10): `submit_options::retry` re-enqueues
+/// requests that end in a retryable status (default: `transient_fault`)
+/// with bounded exponential backoff at their original priority, and
+/// `submit_options::degrade` arms the graceful-degradation ladder — when
+/// the deadline watermark passes or retries are exhausted, the request is
+/// rerun stepped down (no speculation → coarser shards → greedy-BST
+/// fallback), and a deadline firing mid-sharded-reduce salvages the
+/// completed shard sub-trees (shard.hpp).  Degraded results carry a valid
+/// tree tagged `route_status::degraded`, re-verified by the independent
+/// evaluator before publication, with the rung and reason in
+/// `route_result::degradation`.
 ///
 /// Failure isolation: a worker catches its request's exceptions and
-/// reports them as `route_status::error` in the result; one malformed
-/// request cannot poison its siblings.
+/// reports them as `route_status::error` in the result (std::bad_alloc
+/// maps to the retryable `transient_fault`); one malformed request cannot
+/// poison its siblings.
 
 #include "core/executor.hpp"
 #include "core/route_context.hpp"
@@ -115,6 +130,42 @@ struct service_options {
     bool parallel_rounds = true;
 };
 
+/// Retry discipline for one submission: how many attempts a request gets
+/// and how long to back off between them.  An attempt whose status the
+/// predicate accepts is re-enqueued at the original priority after
+/// min(cap, base << (attempt - 1)); retries never start after the
+/// submission deadline, and the attempt that produced the final result is
+/// reported in `route_result::attempts`.
+struct retry_policy {
+    /// Total attempts including the first; 1 disables retries.
+    int max_attempts = 1;
+    /// First backoff; attempt k waits min(cap, base << (k - 1)).
+    std::chrono::milliseconds backoff_base{1};
+    std::chrono::milliseconds backoff_cap{64};
+    /// Which terminal statuses are worth another attempt.  Null means the
+    /// default: `transient_fault` only (cancelled/deadline never retry).
+    std::function<bool(route_status)> retryable;
+};
+
+/// Graceful-degradation ladder for one submission (DESIGN.md §10).  When
+/// enabled, a request that exhausts its retries on a fault — or whose
+/// deadline watermark passes while attempts remain — is rerun stepped
+/// down one rung at a time: 1 = speculation off, 2 = coarser auto-shards
+/// (coarse_shard_count), 3 = greedy-BST fallback under the spec's
+/// tightest bound.  Independently, `salvage` arms partial-result recovery
+/// of sharded reduces (engine_options::salvage).  Every degraded tree is
+/// re-verified by the independent evaluator before publication unless
+/// `verify` is off.
+struct degrade_policy {
+    bool enabled = false;
+    /// Fraction of the submit→deadline budget after which a (re)attempt
+    /// starts stepped down (rung >= 1; past the midpoint of the remainder
+    /// it jumps straight to the greedy fallback).
+    double deadline_watermark = 0.5;
+    bool salvage = true;
+    bool verify = true;
+};
+
 /// Per-submission knobs of the streaming API.
 struct submit_options {
     /// Absolute completion deadline (steady clock); `no_deadline()` means
@@ -132,6 +183,11 @@ struct submit_options {
     /// receives the result by reference and must not call try_get/wait
     /// itself.  Exceptions it throws are swallowed.
     std::function<void(const route_result&)> on_complete;
+    /// Retry discipline (default: single attempt, no retries).
+    retry_policy retry;
+    /// Graceful-degradation ladder (default: disabled — faults and
+    /// deadlines report their status with no fallback rerun).
+    degrade_policy degrade;
 };
 
 /// Handle to one submitted request.  Copyable (all copies address the same
@@ -209,7 +265,7 @@ class route_service {
 
   private:
     route_result route_one(routing_request req);
-    void serve(const std::shared_ptr<route_handle::state>& st);
+    void serve(const std::shared_ptr<route_handle::state>& st, int attempt);
 
     service_options opt_;
     routing_context ctx_;

@@ -31,11 +31,49 @@
 
 namespace astclk::core {
 
+/// Rung of the graceful-degradation ladder (DESIGN.md §10) a degraded
+/// result was produced under.  The numbered rungs trade fidelity for
+/// wall-clock in order; `salvaged` marks partial-result recovery of an
+/// interrupted sharded reduce rather than a ladder rerun.
+enum class degrade_rung : int {
+    none = 0,
+    no_speculation = 1,   ///< rung 1: speculative pipeline disabled
+    coarse_shards = 2,    ///< rung 2: finer auto-shard partition (coarser
+                          ///< solution: more stitch seams, less fidelity)
+    greedy_fallback = 3,  ///< rung 3: greedy BST under the spec's tightest
+                          ///< bound (collapse-groups EXT-BST route)
+    salvaged = 4,         ///< completed shard sub-trees recovered, the rest
+                          ///< greedily completed, then stitched
+};
+
+[[nodiscard]] constexpr const char* to_string(degrade_rung r) noexcept {
+    switch (r) {
+        case degrade_rung::none: return "none";
+        case degrade_rung::no_speculation: return "no_speculation";
+        case degrade_rung::coarse_shards: return "coarse_shards";
+        case degrade_rung::greedy_fallback: return "greedy_fallback";
+        case degrade_rung::salvaged: return "salvaged";
+    }
+    return "?";
+}
+
+/// Why and how a degraded result was produced (route_result.degradation;
+/// rung == none on full-fidelity results).
+struct degradation_report {
+    degrade_rung rung = degrade_rung::none;
+    std::string reason;       ///< what pushed the run down the ladder
+    int salvaged_shards = 0;  ///< completed sub-trees recovered (salvage)
+    int greedy_shards = 0;    ///< unfinished shards completed greedily
+    bool verified = false;    ///< independent Elmore re-verification passed
+};
+
 struct route_result {
-    /// Terminal disposition (executor.hpp): anything but `ok` means the
-    /// tree below is empty/partial and must not be consumed.  Replaces the
-    /// former bare error-string signaling — callers branch on the kind
-    /// instead of string-matching.
+    /// Terminal disposition (executor.hpp): `ok` and `degraded` carry a
+    /// valid tree (`degraded` under a stepped-down configuration — see
+    /// `degradation`); any other status means the tree below is
+    /// empty/partial and must not be consumed.  Replaces the former bare
+    /// error-string signaling — callers branch on the kind instead of
+    /// string-matching.
     route_status status = route_status::ok;
     /// Human detail for non-ok statuses ("cancelled", "deadline exceeded",
     /// or the exception message of an errored request); empty when ok.
@@ -51,8 +89,23 @@ struct route_result {
     int threads_used = 1;
     bool used_ledger_fallback = false;  ///< AST auto mode: windowed attempt
                                         ///< violated a bound, exact rerun used
+    /// Service attempt that produced this result (1 = first try; >1 means
+    /// earlier attempts hit retryable faults and were re-enqueued).
+    int attempts = 1;
+    /// Shard count the run actually resolved to (1 = monolithic), recording
+    /// the automatic choice (`engine.shards == 0`) so any run can be
+    /// reproduced by pinning `engine.shards` to this value.
+    int resolved_shards = 0;
+    /// Degradation ladder bookkeeping; `degradation.rung == none` unless
+    /// `status == degraded`.
+    degradation_report degradation;
 
     [[nodiscard]] bool ok() const { return status == route_status::ok; }
+    /// True when the tree is valid and consumable: full-fidelity `ok` or a
+    /// verified `degraded` result (see `degradation`).
+    [[nodiscard]] bool usable() const {
+        return status == route_status::ok || status == route_status::degraded;
+    }
 };
 
 /// Strategy for AST-DME (see DESIGN.md §5):

@@ -85,12 +85,18 @@ inline route_result reduce_route(const topo::instance& inst,
                                  bool collapse_groups,
                                  routing_context& ctx) {
     const int k = effective_shard_count(eopt, solver, inst.sinks.size());
-    if (k > 1)
-        return sharded_route(inst, solver, eopt, collapse_groups, k, ctx);
+    if (k > 1) {
+        route_result res =
+            sharded_route(inst, solver, eopt, collapse_groups, k, ctx);
+        res.resolved_shards = k;  // auto counts become reproducible inputs
+        return res;
+    }
     topo::clock_tree t;
     auto roots = make_leaves(inst, t, collapse_groups);
-    return finish_route(inst, solver, eopt, std::move(t), std::move(roots),
-                        ctx);
+    route_result res = finish_route(inst, solver, eopt, std::move(t),
+                                    std::move(roots), ctx);
+    res.resolved_shards = 1;
+    return res;
 }
 
 // The four built-in strategies (registered by strategy_registry's ctor).

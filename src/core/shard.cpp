@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 namespace astclk::core {
 
@@ -107,6 +108,20 @@ int auto_shard_count(std::size_t population, int concurrency) {
     return static_cast<int>(std::min(k, cap));
 }
 
+int coarse_shard_count(std::size_t population, int concurrency) {
+    /// The degradation ladder's rung-2 partition: ~128 sinks per shard —
+    /// four times finer than auto_shard_count's sweet spot, trading stitch
+    /// seams (solution fidelity) for much shallower sub-reductions when a
+    /// deadline is chasing the run.  Always at least 2 shards (rung 2 must
+    /// actually change the configuration), never more than the population.
+    constexpr std::size_t ktarget = 128;
+    std::size_t k = (population + ktarget / 2) / ktarget;
+    const auto conc = static_cast<std::size_t>(std::max(concurrency, 1));
+    k = std::max({k, conc, static_cast<std::size_t>(2)});
+    return static_cast<int>(
+        std::min(k, std::max<std::size_t>(population, 2)));
+}
+
 int effective_shard_count(const engine_options& opt,
                           const merge_solver& solver,
                           std::size_t population) {
@@ -153,24 +168,59 @@ route_result sharded_route(const topo::instance& inst,
     sopt.executor = nullptr;
     sopt.shards = 1;
     sopt.speculate_k = 0;
+    // Inner shard tokens never carry the fault plan: selection/round
+    // checkpoint indexes are per-run, so concurrent shards would race for
+    // the same scheduled events.  Shard-level faults fire at the per-shard
+    // gate below, keyed by the partition index — deterministic under any
+    // worker schedule.
+    sopt.cancel.set_faults(nullptr);
     const bool fanned =
         opt.executor != nullptr && opt.executor->concurrency() > 1 && k > 1;
     if (fanned) sopt.cancel.set_probe(nullptr);
     const bottom_up_engine shard_engine(solver, sopt);
 
-    route_status stop = route_status::ok;
-    try {
-        run_indexed(opt.executor, k, [&](std::size_t i) {
-            shard_run& run = runs[i];
+    // Each shard records its own stop status instead of throwing out of
+    // the fan-out: the fanned run_jobs path completes every index after an
+    // exception while the sequential fallback aborts at the first one, and
+    // salvage semantics (which shards completed) must not depend on that.
+    std::vector<route_status> shard_stop(k, route_status::ok);
+    run_indexed(opt.executor, k, [&](std::size_t i) {
+        shard_run& run = runs[i];
+        cancel_token gate = opt.cancel;
+        gate.set_probe(nullptr);  // gate polls stay out of probe counts
+        const route_status pre = gate.poll_at(
+            fault_site::shard, static_cast<std::uint64_t>(i) + 1);
+        if (pre != route_status::ok) {
+            shard_stop[i] = pre;
+            return;
+        }
+        try {
             auto lease = ctx.scratch();
             auto leaves =
                 detail::make_leaves(inst, run.tree, parts[i], collapse_groups);
             run.root = shard_engine.reduce(run.tree, std::move(leaves),
                                            &run.stats, lease.get());
-        });
-    } catch (const route_interrupt& e) {
-        stop = e.status();
-    }
+        } catch (const route_interrupt& e) {
+            shard_stop[i] = e.status();
+        }
+    });
+
+    // Combine per-shard stops by severity: an explicit cancel wins (it is
+    // never salvaged), then the poisoned-data fault, then transient, then
+    // the deadline; ties and other statuses keep the first one seen.
+    const auto severity = [](route_status s) {
+        switch (s) {
+            case route_status::ok: return 0;
+            case route_status::deadline_exceeded: return 2;
+            case route_status::transient_fault: return 3;
+            case route_status::data_fault: return 4;
+            case route_status::cancelled: return 5;
+            default: return 1;
+        }
+    };
+    route_status stop = route_status::ok;
+    for (const route_status s : shard_stop)
+        if (severity(s) > severity(stop)) stop = s;
 
     // Exact aggregation: every shard wrote its own stats block — the
     // completed ones fully, an interrupted one up to its last checkpoint,
@@ -179,14 +229,62 @@ route_result sharded_route(const topo::instance& inst,
     engine_stats total;
     for (const shard_run& run : runs) total.accumulate(run.stats);
     total.shards = static_cast<int>(k);
-    if (stop != route_status::ok) throw route_interrupt(stop, total);
+
+    // Partial-result salvage (DESIGN.md §10): instead of discarding the
+    // completed shard sub-trees on an interrupt, keep them, rebuild the
+    // unfinished shards with a cheap greedy configuration under a *grace*
+    // token (explicit cancel still honored; the fired deadline and the
+    // fault plan are dropped — salvage must be allowed to finish), and
+    // stitch as usual.  Only non-retryable stops salvage: an explicit
+    // cancel always discards (the caller asked for the work to stop, not
+    // for a cheaper answer), and a transient fault propagates so the
+    // service's retry policy can recover it at *full* fidelity — stepping
+    // down is the last resort, not the first response.
+    int salvaged = 0;
+    int greedy = 0;
+    engine_options stitch_opt = opt;
+    if (stop != route_status::ok) {
+        const bool salvageable = stop == route_status::deadline_exceeded ||
+                                 stop == route_status::data_fault;
+        if (!opt.salvage || !salvageable)
+            throw route_interrupt(stop, total);
+        const cancel_token grace(opt.cancel.flag(),
+                                 cancel_token::no_deadline());
+        engine_options gopt = opt;
+        gopt.executor = nullptr;
+        gopt.shards = 1;
+        gopt.speculate_k = 0;
+        gopt.true_cost_ordering = false;  // pure arc-distance: cheapest order
+        gopt.cancel = grace;
+        const bottom_up_engine rescue(solver, gopt);
+        for (std::size_t i = 0; i < k; ++i) {
+            shard_run& run = runs[i];
+            if (run.root != topo::knull_node) {
+                ++salvaged;
+                continue;
+            }
+            // The interrupted partial tree is unusable (its live roots died
+            // with the unwind) — rebuild the shard from fresh leaves.
+            run.tree = topo::clock_tree{};
+            engine_stats gst;
+            auto lease = ctx.scratch();
+            auto leaves =
+                detail::make_leaves(inst, run.tree, parts[i], collapse_groups);
+            run.root = rescue.reduce(run.tree, std::move(leaves), &gst,
+                                     lease.get());
+            total.accumulate(gst);
+            ++greedy;
+        }
+        stitch_opt.cancel = grace;  // stitch under the grace token too
+    }
 
     // Graft the shard trees into one arena in partition order (node ids —
     // and with them every downstream tie-break — depend only on the
     // partition, not on which worker reduced which shard), then stitch
     // the shard roots with the phase-2 associative machinery.  The stitch
-    // keeps the caller's executor and the full cancel token; an interrupt
-    // here carries `total`, which the stitch was accumulating into.
+    // keeps the caller's executor and the full cancel token (the grace
+    // token when salvaging); an interrupt here carries `total`, which the
+    // stitch was accumulating into.
     route_result res;
     topo::clock_tree t;
     std::vector<topo::node_id> roots;
@@ -199,11 +297,23 @@ route_result sharded_route(const topo::instance& inst,
     topo::node_id root;
     {
         auto lease = ctx.scratch();
-        root = stitch_roots(solver, opt, t, std::move(roots), &total,
+        root = stitch_roots(solver, stitch_opt, t, std::move(roots), &total,
                             lease.get());
     }
     res.stats = total;
     detail::finalize_result(inst, std::move(t), root, res);
+    if (stop != route_status::ok) {
+        res.status = route_status::degraded;
+        res.status_message =
+            std::string("salvaged ") + std::to_string(salvaged) + " of " +
+            std::to_string(k) + " shard sub-trees after " + to_string(stop) +
+            "; " + std::to_string(greedy) + " completed greedily";
+        res.degradation.rung = degrade_rung::salvaged;
+        res.degradation.reason =
+            std::string("sharded reduce interrupted: ") + to_string(stop);
+        res.degradation.salvaged_shards = salvaged;
+        res.degradation.greedy_shards = greedy;
+    }
     return res;
 }
 

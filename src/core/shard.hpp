@@ -54,6 +54,13 @@ using shard_partition = std::vector<std::vector<std::int32_t>>;
 /// produce fewer shards.  Returns 1 (monolithic) for small populations.
 [[nodiscard]] int auto_shard_count(std::size_t population, int concurrency);
 
+/// The degradation ladder's rung-2 shard count (route_service degrade
+/// ladder, DESIGN.md §10): ~128 sinks per shard — four times finer than
+/// `auto_shard_count`, trading stitch seams for much shallower (faster)
+/// sub-reductions.  Always >= 2 so rung 2 genuinely reconfigures the run;
+/// clamped to the population like every other shard count.
+[[nodiscard]] int coarse_shard_count(std::size_t population, int concurrency);
+
 /// Shard count a reduce over `population` roots will actually use:
 /// resolves the `opt.shards` knob (1 = monolithic, 0 = auto, K = forced,
 /// clamped to the population) and returns 1 for ledger-backed solvers —
@@ -76,7 +83,17 @@ using shard_partition = std::vector<std::vector<std::int32_t>>;
 /// (the probe is driven only when the shard loop runs on the calling
 /// thread); a mid-shard interrupt unwinds with the counters of every
 /// shard — completed, partial and never-started alike — summed exactly
-/// once.  Requires a ledger-free solver, `shards >= 2`
+/// once.  Each shard job opens with a gate poll at the `shard` fault site
+/// keyed by its partition index (deterministic under any worker
+/// schedule); inner shard tokens never carry the fault plan.  With
+/// `opt.salvage` set, a non-retryable interrupt (deadline_exceeded or
+/// data_fault) keeps the completed shard sub-trees, greedily completes
+/// the unfinished shards under a grace token (cancel flag honored,
+/// deadline and faults dropped), stitches, and returns the tree tagged
+/// route_status::degraded with a `salvaged` degradation_report; an
+/// explicit cancel always discards, and a transient fault propagates so
+/// the service's retry policy can recover it at full fidelity.
+/// Requires a ledger-free solver, `shards >= 2`
 /// (effective_shard_count enforces both) and a non-empty sink set
 /// (std::invalid_argument otherwise).
 [[nodiscard]] route_result sharded_route(const topo::instance& inst,

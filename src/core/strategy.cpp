@@ -80,9 +80,12 @@ route_result route(const routing_request& req, routing_context& ctx) {
     const cancel_token& tok = req.options.engine.cancel;
     // Checkpoint zero: a token that already fired (cancelled before claim,
     // zero/expired deadline) reports its status without entering the
-    // strategy — no leaves, no scratch lease, no reduce.
-    const route_status pre =
-        tok.armed() ? tok.poll() : route_status::ok;
+    // strategy — no leaves, no scratch lease, no reduce.  This is also the
+    // `dispatch` fault site: index 0 asks the plan for its per-site
+    // occurrence counter, so scheduled dispatch faults index by attempt.
+    const route_status pre = tok.armed()
+                                 ? tok.poll_at(fault_site::dispatch, 0)
+                                 : route_status::ok;
     if (pre != route_status::ok) {
         res.status = pre;
         res.status_message = status_message_for(pre);

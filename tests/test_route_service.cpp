@@ -804,5 +804,91 @@ TEST(RouteService, DestructionDrainsAndHandlesOutliveTheService) {
     }
 }
 
+TEST(RouteHandle, OnCompleteExceptionIsSwallowed) {
+    const auto inst = small_instance(60, 1, 31, false);
+    routing_request r;
+    r.instance = &inst;
+    service_options sopt;
+    sopt.threads = 1;
+    route_service svc(sopt);
+    submit_options sub;
+    std::atomic<int> called{0};
+    sub.on_complete = [&](const route_result& res) {
+        ++called;
+        EXPECT_TRUE(res.ok());
+        throw std::runtime_error("callback bomb");
+    };
+    route_handle h = svc.submit(r, sub);
+    // The throwing callback must neither kill the worker nor leave the
+    // waiter blocked: wait() returns the stored result normally.
+    const route_result res = h.wait();
+    EXPECT_TRUE(res.ok()) << res.status_message;
+    EXPECT_EQ(called.load(), 1);
+    // The worker survived: the service still serves.
+    EXPECT_TRUE(svc.submit(r).wait().ok());
+}
+
+TEST(RouteHandle, SecondRetrievalThrowsLogicError) {
+    const auto inst = small_instance(60, 1, 32, false);
+    routing_request r;
+    r.instance = &inst;
+    service_options sopt;
+    sopt.threads = 1;
+    route_service svc(sopt);
+    route_handle h = svc.submit(r);
+    route_handle copy = h;  // all copies address the same submission
+    const route_result res = h.wait();
+    EXPECT_TRUE(res.ok());
+    EXPECT_THROW(h.wait(), std::logic_error);
+    EXPECT_THROW(copy.wait(), std::logic_error);
+    EXPECT_EQ(copy.try_get(), std::nullopt);  // try_get stays non-throwing
+    EXPECT_TRUE(copy.done());
+    EXPECT_THROW(route_handle{}.wait(), std::logic_error);  // empty handle
+}
+
+TEST(RouteHandle, TicketRevokeRacesWorkerClaim) {
+    // A cancel storm against a single busy worker: while the blocker pins
+    // the one worker, a sibling thread cancels queued submissions as the
+    // gate opens and the worker starts claiming them.  Whoever wins each
+    // state's claimed-exchange completes it — every handle resolves
+    // exactly once, as `cancelled` or as a full result, never both and
+    // never neither.
+    ensure_blocker_registered();
+    const auto inst = small_instance(40, 1, 33, false);
+    routing_request work;
+    work.instance = &inst;
+    routing_request blocker;
+    blocker.instance = &inst;
+    blocker.strategy = kblocker_id;
+    for (int round = 0; round < 5; ++round) {
+        blocker_gate().reset();
+        service_options sopt;
+        sopt.threads = 1;
+        route_service svc(sopt);
+        route_handle pin = svc.submit(blocker);
+        blocker_gate().wait_entered();
+        std::vector<route_handle> handles;
+        for (int i = 0; i < 16; ++i) handles.push_back(svc.submit(work));
+        std::thread canceller([&] {
+            for (auto& h : handles) h.cancel();
+        });
+        blocker_gate().release();
+        canceller.join();
+        EXPECT_TRUE(pin.wait().ok());
+        int cancelled = 0, completed = 0;
+        for (auto& h : handles) {
+            const route_result res = h.wait();  // exactly one result each
+            if (res.status == route_status::cancelled) {
+                EXPECT_EQ(res.tree.size(), 0u);
+                ++cancelled;
+            } else {
+                EXPECT_TRUE(res.ok()) << res.status_message;
+                ++completed;
+            }
+        }
+        EXPECT_EQ(cancelled + completed, 16);
+    }
+}
+
 }  // namespace
 }  // namespace astclk::core
