@@ -6,8 +6,10 @@
 #include <cassert>
 #include <limits>
 #include <optional>
+#include <type_traits>
 #include <unordered_set>
 #include <vector>
+
 
 namespace astclk::core {
 
@@ -40,6 +42,12 @@ struct engine_scratch::impl {
     };
 
     std::unordered_set<std::uint64_t> banned;
+    /// id -> number of banned pairs the id participates in.  A pair can be
+    /// banned only if *both* endpoints have nonzero degree, so the NN hot
+    /// loops answer almost every ban probe with two array loads instead of
+    /// a hash walk (bans are rare: one per rejected pair).  Grown lazily by
+    /// ban_pair(); ids beyond the vector have degree zero by construction.
+    std::vector<std::uint32_t> ban_deg;
     pair_cost_cache cost_cache;
     plan_cache plans;  ///< generation-stamped cross-step plan memo
     std::vector<topo::node_id> nn_to;  ///< id -> current NN (knull: none)
@@ -56,10 +64,25 @@ struct engine_scratch::impl {
     // Multi-merge round buffers (slot-indexed NN records, pre-solved plans).
     std::vector<std::pair<topo::node_id, double>> round_nn;
     std::vector<std::optional<merge_plan>> round_plans;
+    // Batch-kernel buffers (engine_options::kernel == batch): the NN
+    // gather scratch of the grid backend's batched queries, and the
+    // pair/result/fallback-count arrays the chunked solve_plan_batch
+    // dispatches write into (disjoint slots per chunk, so parallel
+    // chunks stay deterministic).
+    nn_query_scratch nnq;
+    std::vector<std::pair<topo::node_id, topo::node_id>> kernel_pairs;
+    std::vector<std::optional<merge_plan>> kernel_out;
+    std::vector<int> kernel_fb;
+    // Per-step work lists reused across the run (integrate's affected
+    // roots, pop_cheapest's equal-key losers): both are cleared before
+    // use, so reuse only spares the per-call allocation.
+    std::vector<topo::node_id> affected;
+    std::vector<sel_entry> losers;
 
     /// Reinitialise for a run over a tree that currently has `ids` nodes.
     void reset(std::size_t ids) {
         banned.clear();
+        ban_deg.clear();
         cost_cache.clear();
         plans.clear();
         starved.clear();
@@ -67,6 +90,10 @@ struct engine_scratch::impl {
         radius.clear();
         spec_peek.clear();
         spec_jobs.clear();
+        nnq.reset();
+        kernel_pairs.clear();
+        kernel_out.clear();
+        kernel_fb.clear();
         nn_to.assign(ids, topo::knull_node);
         nn_dist.assign(ids, 0.0);
         gen.assign(ids, 0);
@@ -116,13 +143,49 @@ void heap_pop(std::vector<T>& h) {
     dary_pop<Cmp>(h);
 }
 
-/// Inlined ban predicate: no std::function on the hot path.
+/// Inlined ban predicate: no std::function on the hot path.  This is the
+/// seed's literal probe — every candidate pair walks the hash set — and
+/// the `kernel = scalar` dispatch keeps it, so the scalar rows of the
+/// perf series stay the frozen reference implementation (the same role
+/// the linear NN backend plays for the grid).
 struct ban_table {
     const std::unordered_set<std::uint64_t>* bans;
     [[nodiscard]] bool operator()(std::uint64_t k) const {
         return bans->count(k) != 0;
     }
 };
+
+/// Batch-kernel ban predicate (engine_options::kernel == batch): the
+/// packed pair key carries both endpoint ids (pair_key, nn_index.hpp),
+/// so the degree table short-circuits the hash walk whenever either
+/// endpoint has never been part of a ban — the overwhelmingly common
+/// case, since bans accrue one rejected pair at a time while the NN
+/// loops probe every candidate pair they scan.  Bit-identical answers
+/// to ban_table: a pair is in `bans` only if both endpoints' degrees
+/// are nonzero (ban_pair bumps both).
+struct ban_table_fast {
+    const std::unordered_set<std::uint64_t>* bans;
+    const std::vector<std::uint32_t>* deg;
+    [[nodiscard]] bool operator()(std::uint64_t k) const {
+        const auto hi = static_cast<std::size_t>(k >> 32);
+        if (hi >= deg->size()) return false;  // id newer than every ban
+        if ((*deg)[hi] == 0 ||
+            (*deg)[static_cast<std::size_t>(k & 0xffffffffu)] == 0)
+            return false;
+        return bans->count(k) != 0;
+    }
+};
+
+/// Record a banned pair: the hash set answers exact probes, the degree
+/// table powers ban_table's fast path.  The degree vector grows lazily to
+/// the larger endpoint (merged roots mint fresh ids mid-run).
+void ban_pair(engine_scratch::impl& s, topo::node_id a, topo::node_id b) {
+    s.banned.insert(pair_key(a, b));
+    const auto need = static_cast<std::size_t>(std::max(a, b)) + 1;
+    if (s.ban_deg.size() < need) s.ban_deg.resize(need, 0);
+    ++s.ban_deg[static_cast<std::size_t>(a)];
+    ++s.ban_deg[static_cast<std::size_t>(b)];
+}
 
 void note_plan(const merge_plan& p, double dist, engine_stats& st) {
     ++st.merges;
@@ -183,7 +246,13 @@ class nearest_reducer {
           // so a memoised plan could go stale without a generation moving.
           cache_on_(opt.plan_cache && solver.ledger() == nullptr),
           spec_on_(cache_on_ && opt.speculate_k > 0 &&
-                   opt.executor != nullptr && opt.executor->concurrency() > 1) {
+                   opt.executor != nullptr && opt.executor->concurrency() > 1),
+          // The batch kernels' fast path requires ledger-free planning
+          // (plan_kernels.hpp); a ledger-backed run would bounce every
+          // lane anyway, so gate the dispatch off entirely and keep the
+          // kernel counters at zero there.
+          batch_on_(opt.kernel == plan_kernel::batch &&
+                    solver.ledger() == nullptr) {
         s_.reset(t_.size());
         for (topo::node_id r : roots) recompute(r);
     }
@@ -212,7 +281,7 @@ class nearest_reducer {
             (void)gen;
             auto plan = obtain_plan(a, b);
             if (!plan.has_value()) {
-                s_.banned.insert(pair_key(a, b));
+                ban_pair(s_, a, b);
                 ++st_.rejected_pairs;
                 release_plans(a, b);  // terminal: banned pairs never return
                 recompute(a);
@@ -264,6 +333,20 @@ class nearest_reducer {
     /// once per reduce, at the normal end and before an interrupt unwinds.
     void finalize_stats() {
         st_.wasted_speculation = st_.speculated_plans - st_.speculative_hits;
+        st_.nn_scratch_reuses += s_.nnq.reuses;
+    }
+
+    /// One plan solve, routed through the batch kernel (a chunk of one:
+    /// the SoA fast path still skips the scalar path's working-state
+    /// copies and shared-group allocation) or the scalar solver.
+    std::optional<merge_plan> solve_one(topo::node_id a, topo::node_id b) {
+        if (!batch_on_) return solver_.plan(t_, a, b);
+        const std::pair<topo::node_id, topo::node_id> pr{a, b};
+        std::optional<merge_plan> plan;
+        const int fb = solve_plan_batch(solver_, t_, &pr, 1, &plan);
+        st_.kernel_fallbacks += fb;
+        st_.batch_planned += 1 - fb;
+        return plan;
     }
 
     [[noreturn]] void interrupt(route_status rs) {
@@ -293,7 +376,7 @@ class nearest_reducer {
     /// depend only on the two subtrees, which are immutable while both
     /// roots are active, and stale stamps fall back to the inline solve.
     std::optional<merge_plan> obtain_plan(topo::node_id a, topo::node_id b) {
-        if (!cache_on_) return solver_.plan(t_, a, b);
+        if (!cache_on_) return solve_one(a, b);
         const std::uint64_t key = ordered_pair_key(a, b);
         if (plan_cache::entry* e = s_.plans.find(key, gen_at(a), gen_at(b))) {
             ++st_.plan_cache_hits;
@@ -302,7 +385,7 @@ class nearest_reducer {
             return e->plan;  // copied: a re-keyed pair consults it twice
         }
         ++st_.plan_cache_misses;
-        return solver_.plan(t_, a, b);
+        return solve_one(a, b);
     }
 
     /// Speculative top-k planning: drain the k cheapest *live* entries off
@@ -344,9 +427,39 @@ class nearest_reducer {
                             std::nullopt});
         }
         if (jobs.empty()) return;
-        run_indexed(opt_.executor, jobs.size(), [&](std::size_t i) {
-            jobs[i].plan = solver_.plan(t_, jobs[i].a, jobs[i].b);
-        });
+        if (batch_on_) {
+            // Chunked batch dispatch: each worker solves a kplan_lanes
+            // chunk of the job list via the SoA kernels, writing plans and
+            // its own fallback count into disjoint slots — deterministic
+            // regardless of schedule, and each chunk amortises the kernel
+            // over several lanes instead of going pair-at-a-time.
+            auto& pairs = s_.kernel_pairs;
+            auto& outs = s_.kernel_out;
+            auto& fb = s_.kernel_fb;
+            pairs.resize(jobs.size());
+            outs.assign(jobs.size(), std::nullopt);
+            for (std::size_t i = 0; i < jobs.size(); ++i)
+                pairs[i] = {jobs[i].a, jobs[i].b};
+            const std::size_t chunks =
+                (jobs.size() + kplan_lanes - 1) / kplan_lanes;
+            fb.assign(chunks, 0);
+            run_indexed(opt_.executor, chunks, [&](std::size_t c) {
+                const std::size_t lo = c * kplan_lanes;
+                const std::size_t n = std::min(kplan_lanes, jobs.size() - lo);
+                fb[c] = solve_plan_batch(solver_, t_, pairs.data() + lo, n,
+                                         outs.data() + lo);
+            });
+            for (std::size_t i = 0; i < jobs.size(); ++i)
+                jobs[i].plan = std::move(outs[i]);
+            int total_fb = 0;
+            for (const int f : fb) total_fb += f;
+            st_.kernel_fallbacks += total_fb;
+            st_.batch_planned += static_cast<int>(jobs.size()) - total_fb;
+        } else {
+            run_indexed(opt_.executor, jobs.size(), [&](std::size_t i) {
+                jobs[i].plan = solver_.plan(t_, jobs[i].a, jobs[i].b);
+            });
+        }
         for (auto& j : jobs) {
             s_.plans.store(ordered_pair_key(j.a, j.b), j.gen_a, j.gen_b,
                            /*speculative=*/true, std::move(j.plan));
@@ -371,7 +484,10 @@ class nearest_reducer {
             s_.starved.insert(i);
             return;
         }
-        s_.starved.erase(i);
+        // Starvation is an endgame phenomenon (every partner banned), so
+        // the set is empty for almost the whole run — the one-load probe
+        // spares a hash erase per neighbour update.
+        if (!s_.starved.empty()) s_.starved.erase(i);
         s_.rev[static_cast<std::size_t>(j)].push_back(i);
         const auto cv = s_.cost_cache.lookup(pair_key(i, j));
         heap_push<sel_order>(s_.heap,
@@ -381,7 +497,42 @@ class nearest_reducer {
     }
 
     void recompute(topo::node_id i) {
-        const auto n = idx_.nearest_if(i, ban_table{&s_.banned});
+        // Batch kernel only: a centre that takes part in no ban can skip
+        // every per-candidate ban probe — pair (i, j) can only be banned
+        // if *both* endpoints have nonzero ban degree — so the query runs
+        // with the fully inlined no_bans predicate, and centres that do
+        // carry bans still get the degree-pruned probe.  Almost every
+        // recompute qualifies (bans accrue one rejected pair at a time).
+        // The scalar kernel keeps the seed's plain hash probe so the
+        // reference rows of the perf series measure the seed path.
+        if (batch_on_) {
+            const auto si = static_cast<std::size_t>(i);
+            if (si >= s_.ban_deg.size() || s_.ban_deg[si] == 0) {
+                recompute_with(i, no_bans{});
+                return;
+            }
+            recompute_with(i, ban_table_fast{&s_.banned, &s_.ban_deg});
+            return;
+        }
+        recompute_with(i, ban_table{&s_.banned});
+    }
+
+    template <class Banned>
+    void recompute_with(topo::node_id i, Banned banned) {
+        // The batched ring expansion exists only on the grid backend (the
+        // linear scan has no gather stage worth batching); the reducer's
+        // NN maintenance is single-threaded, so one scratch serves the run.
+        if constexpr (std::is_same_v<Index, grid_index>) {
+            if (batch_on_) {
+                const auto n = idx_.nearest_if_batched(i, banned, s_.nnq);
+                if (n.has_value())
+                    set_nn(i, n->first, n->second);
+                else
+                    set_nn(i, topo::knull_node, 0.0);
+                return;
+            }
+        }
+        const auto n = idx_.nearest_if(i, banned);
         if (n.has_value())
             set_nn(i, n->first, n->second);
         else
@@ -417,7 +568,8 @@ class nearest_reducer {
     std::optional<sel_entry> pop_cheapest() {
         auto best = pop_valid();
         if (!best.has_value()) return std::nullopt;
-        std::vector<sel_entry> losers;
+        auto& losers = s_.losers;
+        losers.clear();
         while (!s_.heap.empty() && s_.heap.front().key == best->key) {
             const sel_entry e = s_.heap.front();
             heap_pop<sel_order>(s_.heap);
@@ -463,7 +615,7 @@ class nearest_reducer {
         }
         s_.nn_to[si] = topo::knull_node;
         ++s_.gen[si];  // invalidates every heap entry owned by i
-        s_.starved.erase(i);
+        if (!s_.starved.empty()) s_.starved.erase(i);
     }
 
     /// Post-commit maintenance: merged pair out, new root in, and only the
@@ -475,7 +627,8 @@ class nearest_reducer {
     ///     backends' tie-break, since c has the largest id).
     void integrate(topo::node_id a, topo::node_id b, topo::node_id c) {
         grow(c);
-        std::vector<topo::node_id> affected;
+        auto& affected = s_.affected;
+        affected.clear();
         for (topo::node_id i : s_.rev[static_cast<std::size_t>(a)])
             if (i != b) affected.push_back(i);
         for (topo::node_id i : s_.rev[static_cast<std::size_t>(b)])
@@ -499,6 +652,24 @@ class nearest_reducer {
         }
         const double radius = current_radius();
         const geom::tilted_rect& arc_c = t_.node(c).arc;
+        if constexpr (std::is_same_v<Index, grid_index>) {
+            if (batch_on_) {
+                // Batched fold-in: same candidate superset and visit
+                // order, distances from the SoA kernel (symmetric gap, so
+                // the orientation swap is bitwise-neutral); the
+                // duplicate-visit guard and the strict `<` update are the
+                // scalar loop's, applied to precomputed distances.
+                idx_.for_each_within_batched(
+                    arc_c, radius, s_.nnq, [&](topo::node_id i, double d) {
+                        if (i == c) return;
+                        const auto si = static_cast<std::size_t>(i);
+                        if (s_.nn_to[si] == c) return;
+                        if (d < s_.nn_dist[si]) set_nn(i, c, d);
+                    });
+                recompute(c);
+                return;
+            }
+        }
         idx_.for_each_within(arc_c, radius, [&](topo::node_id i) {
             if (i == c) return;
             const auto si = static_cast<std::size_t>(i);
@@ -531,6 +702,7 @@ class nearest_reducer {
     Index idx_;
     const bool cache_on_;  ///< plan memo enabled (knob on, ledger-free)
     const bool spec_on_;   ///< top-k dispatch enabled (memo + wide executor)
+    const bool batch_on_;  ///< SoA kernels enabled (knob on, ledger-free)
 };
 
 template <class Index>
@@ -561,9 +733,20 @@ topo::node_id reduce_multi_impl(const merge_solver& solver,
                                 engine_stats& st, engine_scratch::impl& s) {
     Index idx(&t, roots);
     s.banned.clear();
+    s.ban_deg.clear();
     const ban_table banned_fn{&s.banned};
     task_executor* exec = opt.executor;
     const bool parallel_plans = exec != nullptr && solver.ledger() == nullptr;
+    const bool batch_on =
+        opt.kernel == plan_kernel::batch && solver.ledger() == nullptr;
+    // Pre-solving a round's plans before any of its commits is exact for
+    // ledger-free solvers whether or not an executor is present: the
+    // round's mutually-nearest pairs are vertex-disjoint, and a commit
+    // mutates only its own pair's nodes (snake side-roots are the pair
+    // roots themselves), so no plan reads state another commit of the
+    // same round writes.  The batch kernel piggybacks on that argument to
+    // solve the round in kplan_lanes chunks even sequentially.
+    const bool pre_plans = parallel_plans || batch_on;
 
     struct cand {
         topo::node_id a, b;
@@ -610,20 +793,43 @@ topo::node_id reduce_multi_impl(const merge_solver& solver,
                       return x.b < y.b;
                   });
 
-        if (parallel_plans) {
+        if (pre_plans) {
             s.round_plans.assign(cands.size(), std::nullopt);
-            run_indexed(exec, cands.size(), [&](std::size_t k) {
-                s.round_plans[k] = solver.plan(t, cands[k].a, cands[k].b);
-            });
+            if (batch_on) {
+                auto& pairs = s.kernel_pairs;
+                pairs.resize(cands.size());
+                for (std::size_t k = 0; k < cands.size(); ++k)
+                    pairs[k] = {cands[k].a, cands[k].b};
+                const std::size_t chunks =
+                    (cands.size() + kplan_lanes - 1) / kplan_lanes;
+                s.kernel_fb.assign(chunks, 0);
+                auto& fb = s.kernel_fb;
+                run_indexed(exec, chunks, [&](std::size_t c) {
+                    const std::size_t lo = c * kplan_lanes;
+                    const std::size_t n =
+                        std::min(kplan_lanes, cands.size() - lo);
+                    fb[c] = solve_plan_batch(solver, t, pairs.data() + lo, n,
+                                             s.round_plans.data() + lo);
+                });
+                int total_fb = 0;
+                for (const int f : fb) total_fb += f;
+                st.kernel_fallbacks += total_fb;
+                st.batch_planned +=
+                    static_cast<int>(cands.size()) - total_fb;
+            } else {
+                run_indexed(exec, cands.size(), [&](std::size_t k) {
+                    s.round_plans[k] = solver.plan(t, cands[k].a, cands[k].b);
+                });
+            }
         }
 
         bool merged_any = false;
         for (std::size_t k = 0; k < cands.size(); ++k) {
             const cand& cd = cands[k];
-            auto plan = parallel_plans ? std::move(s.round_plans[k])
-                                       : solver.plan(t, cd.a, cd.b);
+            auto plan = pre_plans ? std::move(s.round_plans[k])
+                                  : solver.plan(t, cd.a, cd.b);
             if (!plan.has_value()) {
-                s.banned.insert(pair_key(cd.a, cd.b));
+                ban_pair(s, cd.a, cd.b);
                 ++st.rejected_pairs;
                 continue;
             }

@@ -53,6 +53,7 @@ void grid_index::size_to(const std::vector<topo::node_id>& items) {
     inv_cell_ = 1.0 / cell_;
     cells_.assign(static_cast<std::size_t>(nu_) * static_cast<std::size_t>(nv_),
                   {});
+    slab_.assign(cells_.size(), {});
     sized_for_ = std::max<std::size_t>(std::size_t{1}, items.size());
 }
 
@@ -73,11 +74,18 @@ int grid_index::max_ring_from(const cell_range& q) const {
 void grid_index::place(topo::node_id id) {
     const auto i = static_cast<std::size_t>(id);
     if (i >= span_.size()) span_.resize(i + 1);
+    if (i >= arcs_.size()) arcs_.resize(i + 1);
+    arcs_[i] = packed_arc::of(tree_->node(id).arc);
     const cell_range c = range_of(tree_->node(id).arc);
     span_[i] = c;
     for (int cv = c.v0; cv <= c.v1; ++cv)
-        for (int cu = c.u0; cu <= c.u1; ++cu)
-            cells_[cell_at(cu, cv)].push_back(id);
+        for (int cu = c.u0; cu <= c.u1; ++cu) {
+            const std::size_t at = cell_at(cu, cv);
+            cells_[at].push_back(id);
+            slab_cell& sc = slab_[at];
+            if (sc.n < slab_cell::kinline) sc.ids[sc.n] = id;
+            ++sc.n;  // past kinline the cell is spilled; count stays true
+        }
 }
 
 void grid_index::insert(topo::node_id id) {
@@ -91,13 +99,28 @@ void grid_index::erase(topo::node_id id) {
     const cell_range& c = span_[i];
     for (int cv = c.v0; cv <= c.v1; ++cv)
         for (int cu = c.u0; cu <= c.u1; ++cu) {
-            auto& cell = cells_[cell_at(cu, cv)];
+            const std::size_t at = cell_at(cu, cv);
+            auto& cell = cells_[at];
             for (std::size_t k = 0; k < cell.size(); ++k) {
                 if (cell[k] == id) {
                     cell[k] = cell.back();
                     cell.pop_back();
                     break;
                 }
+            }
+            slab_cell& sc = slab_[at];
+            if (sc.n <= slab_cell::kinline) {
+                // Inline is authoritative: swap-pop the id out of it.
+                for (std::uint32_t k = 0; k < sc.n; ++k)
+                    if (sc.ids[k] == id) {
+                        sc.ids[k] = sc.ids[sc.n - 1];
+                        break;
+                    }
+                --sc.n;
+            } else if (--sc.n <= slab_cell::kinline) {
+                // The cell just un-spilled: refill inline from the
+                // (already shrunk) authoritative vector.
+                for (std::uint32_t k = 0; k < sc.n; ++k) sc.ids[k] = cell[k];
             }
         }
     // Occupancy-adaptive rebuild: once the survivors are below 1/4 of the

@@ -54,20 +54,40 @@ class pair_cost_cache {
   public:
     void store(std::uint64_t key, double order_cost) {
         costs_[key] = order_cost;
+        // Degree table for the lookup fast path; re-storing a key
+        // over-counts, which is harmless (the fast path only needs
+        // "nonzero whenever any entry involves the id").
+        const auto hi = static_cast<std::size_t>(key >> 32);
+        if (deg_.size() <= hi) deg_.resize(hi + 1, 0);
+        ++deg_[hi];
+        ++deg_[static_cast<std::size_t>(key & 0xffffffffu)];
     }
 
     /// The cached true cost, or nullopt when the pair was never re-keyed.
+    /// An entry for (a, b) can exist only if *both* ids were part of an
+    /// earlier re-key, so two array loads answer almost every probe the
+    /// hot set_nn / pop paths make without walking the hash table (the
+    /// pair key packs both ids — pair_key in nn_index.hpp).
     [[nodiscard]] std::optional<double> lookup(std::uint64_t key) const {
+        const auto hi = static_cast<std::size_t>(key >> 32);
+        if (hi >= deg_.size()) return std::nullopt;
+        if (deg_[hi] == 0 ||
+            deg_[static_cast<std::size_t>(key & 0xffffffffu)] == 0)
+            return std::nullopt;
         const auto it = costs_.find(key);
         if (it == costs_.end()) return std::nullopt;
         return it->second;
     }
 
     /// Drop every entry (engine_scratch reuse between runs).
-    void clear() { costs_.clear(); }
+    void clear() {
+        costs_.clear();
+        deg_.clear();
+    }
 
   private:
     std::unordered_map<std::uint64_t, double> costs_;
+    std::vector<std::uint32_t> deg_;  ///< id -> entries the id is part of
 };
 
 /// Intra-group skew bounds (seconds).  `default_bound` applies to every
@@ -157,6 +177,7 @@ class plan_cache {
     /// when the pair was never solved or either root's state moved on.
     [[nodiscard]] entry* find(std::uint64_t key, std::uint32_t gen_a,
                               std::uint32_t gen_b) {
+        if (entries_.empty()) return nullptr;  // no speculation in flight
         const auto it = entries_.find(key);
         if (it == entries_.end()) return nullptr;
         entry& e = it->second;
@@ -170,7 +191,9 @@ class plan_cache {
     /// banned pairs are excluded from NN queries), so the memo stays
     /// proportional to the in-flight speculation instead of retaining
     /// every plan ever solved until the end of the run.
-    void erase(std::uint64_t key) { entries_.erase(key); }
+    void erase(std::uint64_t key) {
+        if (!entries_.empty()) entries_.erase(key);
+    }
 
     /// Drop every entry (engine_scratch reuse between runs).
     void clear() { entries_.clear(); }
