@@ -1,5 +1,6 @@
 #include "core/engine.hpp"
 
+#include "core/audit.hpp"
 #include "core/dary_heap.hpp"
 
 #include <algorithm>
@@ -260,6 +261,9 @@ class nearest_reducer {
     topo::node_id run() {
         const bool watched = opt_.cancel.armed();
         std::uint64_t step = 0;  // deterministic fault-site index
+#ifdef ASTCLK_AUDIT
+        std::uint64_t audit_step = 0;
+#endif
         while (idx_.size() > 1) {
             // The checkpoint precedes the speculative dispatch, so a fired
             // token never fans out another plan batch; the batch below is a
@@ -271,6 +275,9 @@ class nearest_reducer {
                     rs != route_status::ok)
                     interrupt(rs);
             }
+#ifdef ASTCLK_AUDIT
+            audit_checkpoint(++audit_step);
+#endif
             if (spec_on_) speculate();
             const auto popped = pop_cheapest();
             if (!popped.has_value()) {
@@ -327,6 +334,30 @@ class nearest_reducer {
     [[nodiscard]] std::uint32_t gen_at(topo::node_id i) const {
         return s_.gen[static_cast<std::size_t>(i)];
     }
+
+#ifdef ASTCLK_AUDIT
+    /// Audit-build hook riding the selection checkpoint (DESIGN.md §12):
+    /// cheap structural checks every step — both scratch heaps ordered,
+    /// the stats books internally consistent, no plan-cache entry stamped
+    /// from the future — and the full grid-vs-live-set cross-check (which
+    /// walks every cell) every 64th step and on the first.
+    void audit_checkpoint(std::uint64_t step) {
+        audit::checkpoint("selection/heap",
+                          audit::verify_heap_invariant<sel_order>(s_.heap));
+        audit::checkpoint(
+            "selection/radius",
+            audit::verify_heap_invariant<rad_order>(s_.radius));
+        audit::checkpoint("selection/stats", audit::verify_stats_books(st_));
+        audit::checkpoint(
+            "selection/plan-cache",
+            audit::verify_plan_cache_generations(s_.plans, s_.gen));
+        if constexpr (std::is_same_v<Index, grid_index>) {
+            if (step % 64 == 1)
+                audit::checkpoint("selection/grid",
+                                  audit::verify_grid_vs_live_set(idx_, t_));
+        }
+    }
+#endif
 
 
     /// Close the speculation books (wasted = dispatched − consumed); runs
@@ -764,6 +795,11 @@ topo::node_id reduce_multi_impl(const merge_solver& solver,
                 rs != route_status::ok)
                 throw route_interrupt(rs, st);
         }
+#ifdef ASTCLK_AUDIT
+        // Round checkpoint: the multi-merge path keeps no selection heap
+        // or plan memo, so the books are the auditable state here.
+        audit::checkpoint("round/stats", audit::verify_stats_books(st));
+#endif
         ++st.rounds;
         // Fresh nearest neighbours each round, slot-indexed so the fan-out
         // writes disjoint slots (deterministic regardless of schedule).

@@ -214,6 +214,17 @@ struct engine_stats {
     }
 };
 
+/// Size lock for the accumulate() fold (the C++ half of the tools/lint.py
+/// stats-fold rule): adding an engine_stats field changes sizeof and trips
+/// this assert, which stays tripped until the new field is folded into
+/// accumulate() above — lint.py cross-checks the field list against the
+/// fold — and the expected size here is updated.  Counters must never be
+/// able to dodge the shard/service accounting silently.
+static_assert(sizeof(engine_stats) == 96,
+              "engine_stats changed: fold the new field in accumulate(), "
+              "add it to the tools/lint.py field list check, then update "
+              "this size lock");
+
 /// Thrown by an engine checkpoint that observes a fired cancel token; the
 /// strategy dispatch (strategy.cpp route()) converts it into a
 /// route_result with the carried status.  The partial tree dies with the

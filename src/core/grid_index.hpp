@@ -57,6 +57,10 @@
 
 namespace astclk::core {
 
+namespace audit {
+struct grid_inspector;
+}  // namespace audit
+
 class grid_index {
   public:
     /// Build over the given roots: bounds from their arcs, then insert all.
@@ -206,6 +210,11 @@ class grid_index {
     }
 
   private:
+    /// The invariant auditor (core/audit.hpp) cross-checks the private
+    /// registration state — span_, cells_, slab_, arcs_ — against the
+    /// live set and the tree's arcs without widening the public surface.
+    friend struct audit::grid_inspector;
+
     struct cell_range {
         int u0 = 0, u1 = 0, v0 = 0, v1 = 0;
     };

@@ -199,6 +199,14 @@ class plan_cache {
     void clear() { entries_.clear(); }
     [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
+    /// Visit every entry as (ordered pair key, entry) — read-only walk for
+    /// the invariant auditor's generation-stamp check (core/audit.hpp).
+    /// Iteration order is unspecified; callers must not depend on it.
+    template <class Fn>
+    void for_each(Fn fn) const {
+        for (const auto& [key, e] : entries_) fn(key, e);
+    }
+
   private:
     std::unordered_map<std::uint64_t, entry> entries_;
 };

@@ -81,6 +81,7 @@ routing_context::scratch_lease routing_context::scratch() {
             pool_.pop_back();
             return {this, std::move(s)};
         }
+        ++allocated_;
     }
     return {this, std::make_unique<engine_scratch>()};
 }
@@ -93,6 +94,11 @@ void routing_context::release(std::unique_ptr<engine_scratch> s) {
 std::size_t routing_context::pooled_scratch() const {
     std::lock_guard<std::mutex> lk(mu_);
     return pool_.size();
+}
+
+std::size_t routing_context::allocated_scratch() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return allocated_;
 }
 
 }  // namespace astclk::core

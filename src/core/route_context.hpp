@@ -100,6 +100,11 @@ class routing_context {
     /// scratches ever allocated.
     [[nodiscard]] std::size_t pooled_scratch() const;
 
+    /// Scratch buffers ever allocated by this context (monotonic).  On a
+    /// quiesced context `allocated_scratch() == pooled_scratch()` — the
+    /// lease-balance invariant audit::verify_scratch_lease_balance checks.
+    [[nodiscard]] std::size_t allocated_scratch() const;
+
   private:
     friend class scratch_lease;
     void release(std::unique_ptr<engine_scratch> s);
@@ -109,6 +114,7 @@ class routing_context {
     std::unordered_map<std::string, std::unique_ptr<topo::instance>>
         instances_;
     std::vector<std::unique_ptr<engine_scratch>> pool_;
+    std::size_t allocated_ = 0;  ///< scratches ever created (under mu_)
 };
 
 }  // namespace astclk::core

@@ -11,6 +11,7 @@
 /// strategy with the one wall-clock measurement, so direct and batched
 /// calls report cpu_seconds identically.
 
+#include "core/audit.hpp"
 #include "core/route_context.hpp"
 #include "core/shard.hpp"
 #include "core/strategy.hpp"
@@ -53,6 +54,12 @@ inline std::vector<topo::node_id> make_leaves(const topo::instance& inst,
 inline void finalize_result(const topo::instance& inst, topo::clock_tree t,
                             topo::node_id root, route_result& res) {
     t.set_root(root);
+#ifdef ASTCLK_AUDIT
+    // Every whole-tree strategy tail funnels through here, so audit builds
+    // structurally verify every finished tree before it is embedded.
+    audit::checkpoint("finalize/tree",
+                      audit::verify_tree_structure(t, inst.sinks.size()));
+#endif
     res.embed = embed_tree(t, inst.source);
     res.tree = std::move(t);
     res.wirelength = res.tree.total_wirelength();

@@ -234,6 +234,14 @@ route_result sharded_route(const topo::instance& inst,
     engine_stats total;
     for (const shard_run& run : runs) total.accumulate(run.stats);
     total.shards = static_cast<int>(k);
+#ifdef ASTCLK_AUDIT
+    // Per-shard books and their fold, audited on the driving thread after
+    // the fan-out joined (workers are quiesced; each block is stable).
+    for (const shard_run& run : runs)
+        audit::checkpoint("shard/stats",
+                          audit::verify_stats_books(run.stats));
+    audit::checkpoint("shard/total", audit::verify_stats_books(total));
+#endif
 
     // Partial-result salvage (DESIGN.md §10): instead of discarding the
     // completed shard sub-trees on an interrupt, keep them, rebuild the

@@ -86,7 +86,9 @@ TEST(Grouping, ClusteredAssignsByBox) {
             const auto& b = inst.sinks[j];
             const bool same_box = (a.loc.x < hw) == (b.loc.x < hw) &&
                                   (a.loc.y < hh) == (b.loc.y < hh);
-            if (same_box) EXPECT_EQ(a.group, b.group);
+            if (same_box) {
+                EXPECT_EQ(a.group, b.group);
+            }
         }
     }
 }

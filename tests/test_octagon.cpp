@@ -202,8 +202,12 @@ TEST_P(SdrProperty, MembershipMatchesDistanceSum) {
             const double sum = a.distance(tp) + b.distance(tp);
             const bool on_sdr = std::fabs(sum - d) <= 1e-7;
             const bool in_region = sdr.contains(tp.to_real(), 1e-6);
-            if (on_sdr) EXPECT_TRUE(in_region) << "sum=" << sum << " d=" << d;
-            if (sum > d + 1e-5) EXPECT_FALSE(in_region) << "sum=" << sum;
+            if (on_sdr) {
+                EXPECT_TRUE(in_region) << "sum=" << sum << " d=" << d;
+            }
+            if (sum > d + 1e-5) {
+                EXPECT_FALSE(in_region) << "sum=" << sum;
+            }
         }
         // All iso-split merging segments lie inside the SDR.
         for (double f : {0.0, 0.3, 0.7, 1.0}) {

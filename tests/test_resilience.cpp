@@ -365,8 +365,9 @@ TEST(Resilience, FaultMatrixAlwaysTerminatesWithTypedOutcome) {
                     if (res.usable()) {
                         EXPECT_GT(res.tree.size(), 0u) << what;
                         expect_verified(res, inst, req.spec, what);
-                        if (res.status == route_status::degraded)
+                        if (res.status == route_status::degraded) {
                             EXPECT_TRUE(res.degradation.verified) << what;
+                        }
                     } else {
                         EXPECT_TRUE(res.status ==
                                         route_status::transient_fault ||
